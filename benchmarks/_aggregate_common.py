@@ -1,0 +1,36 @@
+"""Shared helpers for the aggregate-figure benchmarks (Figs. 6-10, 13-17).
+
+All five aggregate figures derive from the same sweep, which
+``repro.experiments.sweep`` caches in-process, so only the first benchmark
+of the session pays the simulation cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures, report
+
+from conftest import BENCH_BUFFERS, BENCH_DURATION
+
+
+def run_aggregate(metric: str, short_rtt: bool = False, **kwargs):
+    return figures.aggregate_figure(
+        metric,
+        buffers_bdp=BENCH_BUFFERS,
+        duration_s=BENCH_DURATION,
+        short_rtt=short_rtt,
+        **kwargs,
+    )
+
+
+def print_aggregate(title: str, data) -> None:
+    print()
+    for discipline, by_mix in data.items():
+        print(report.series_table(f"{title} [{discipline}]", by_mix))
+        print()
+
+
+def series_value(data, discipline: str, mix: str, buffer_bdp: float) -> float:
+    for x, y in data[discipline][mix]:
+        if x == buffer_bdp:
+            return y
+    raise KeyError((discipline, mix, buffer_bdp))

@@ -1,0 +1,16 @@
+"""Shared printing/assertions for the single-flow trace-validation benches."""
+
+from __future__ import annotations
+
+
+def print_trace_figure(name: str, result: dict) -> None:
+    print(f"\n{name} — single-flow trace validation ({result['cca']})")
+    for discipline, per_substrate in result.items():
+        if discipline == "cca":
+            continue
+        for substrate, data in per_substrate.items():
+            print(
+                f"  [{discipline:8s} | {substrate:9s}] mean rate={data['mean_rate_pct']:6.1f}%  "
+                f"mean queue={data['mean_queue_pct']:5.1f}%  "
+                f"loss={data['loss_pct']:5.2f}%  util={data['utilization_pct']:5.1f}%"
+            )

@@ -1,0 +1,32 @@
+"""Figure 1: sending-rate competition between one Reno and one BBRv1 flow."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figures
+
+from conftest import BENCH_DT, run_once
+
+
+def test_fig01_reno_vs_bbr1(benchmark):
+    result = run_once(
+        benchmark, figures.figure_1, duration_s=8.0, dt=BENCH_DT
+    )
+    print("\nFigure 1 — Reno vs BBRv1 sending rates (% of link rate)")
+    for substrate in ("fluid", "emulation"):
+        data = result[substrate]
+        time = data["time"]
+        print(f"  [{substrate}]")
+        for t in (1.0, 2.0, 4.0, 6.0, 8.0):
+            k = min(len(time) - 1, int(np.searchsorted(time, t)))
+            print(
+                f"    t={t:4.1f}s  reno={data['reno_pct'][k]:6.1f}%  "
+                f"bbr1={data['bbr1_pct'][k]:6.1f}%"
+            )
+        print(
+            f"    mean: reno={data['mean_reno_pct']:.1f}%  bbr1={data['mean_bbr1_pct']:.1f}%"
+        )
+    # Paper shape: BBRv1 claims the dominant share while Reno is suppressed.
+    fluid = result["fluid"]
+    assert fluid["mean_bbr1_pct"] > fluid["mean_reno_pct"]

@@ -1,0 +1,27 @@
+"""Figure 2: interplay of the BBRv1 / BBRv2 fluid-model variables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figures
+
+from conftest import run_once
+
+
+def test_fig02_bbr_variables(benchmark):
+    result = run_once(benchmark, figures.figure_2, duration_s=1.0, dt=1e-4)
+    print("\nFigure 2 — fluid-model variables (single flow, % of link rate)")
+    for cca in ("bbr1", "bbr2"):
+        data = result[cca]
+        print(
+            f"  {cca}: mean rate={np.mean(data['rate_pct']):6.1f}%  "
+            f"mean x_btl={np.mean(data['x_btl_pct']):6.1f}%  "
+            f"max rate={np.max(data['rate_pct']):6.1f}%  "
+            f"min rate={np.min(data['rate_pct'][10:]):6.1f}%"
+        )
+    # Paper shape: BBRv1 pulses to 125% of BtlBw and drains to 75%; BBRv2
+    # stays close to the link rate between sparse probes.
+    assert np.max(result["bbr1"]["rate_pct"]) > 110.0
+    assert np.mean(result["bbr2"]["rate_pct"][100:]) > 85.0
+    assert "w_hi_pkts" in result["bbr2"]

@@ -1,0 +1,41 @@
+"""Theorems 1-5: equilibria, stability, and reduced-model convergence."""
+
+from __future__ import annotations
+
+from repro.experiments import figures, report
+
+from conftest import run_once
+
+
+def test_theorem_table(benchmark):
+    rows = run_once(benchmark, figures.theorem_table, flow_counts=(2, 5, 10, 50))
+    print("\nTheorems 1-5 — equilibria and stability")
+    print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+    for row in rows:
+        # Thm 1: deep-buffer equilibrium queue equals one propagation BDP.
+        assert abs(row["thm1_queue_bdp"] - 1.0) < 1e-9
+        # Thm 2, 3, 5: all equilibria asymptotically stable.
+        assert row["thm2_stable"] and row["thm3_stable"] and row["thm5_stable"]
+        # Thm 3: loss approaches 20% from below as N grows.
+        assert 0.0 <= row["thm3_loss_fraction"] < 0.2
+        # Thm 4 / Sec 5.2.2: BBRv2 cuts the equilibrium queue by >= 75%.
+        assert row["thm4_queue_reduction"] >= 0.75
+
+
+def test_reduced_model_convergence(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            "bbr1": figures.convergence_demo("bbr1", num_flows=10, duration_s=60.0),
+            "bbr2": figures.convergence_demo("bbr2", num_flows=10, duration_s=60.0),
+        },
+    )
+    print("\nReduced-model convergence (queue in packets)")
+    for version, data in results.items():
+        print(
+            f"  {version}: final queue={data['final_queue_pkts']:8.2f}  "
+            f"expected={data['expected_queue_pkts']:8.2f}"
+        )
+        assert data["final_queue_pkts"] == (
+            __import__("pytest").approx(data["expected_queue_pkts"], rel=0.05)
+        )

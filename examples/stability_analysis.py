@@ -1,0 +1,83 @@
+"""Stability analysis: equilibria of BBRv1/BBRv2 and convergence of the reduced models.
+
+Reproduces the theoretical results of Section 5 (Theorems 1-5): the
+closed-form equilibria, the Lyapunov (indirect-method) stability checks, and
+a numerical integration of the reduced models showing convergence from a
+perturbed initial state.
+
+Usage::
+
+    python examples/stability_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    SingleBottleneck,
+    bbr1_deep_buffer_equilibrium,
+    bbr1_shallow_buffer_equilibrium,
+    bbr2_fair_equilibrium,
+    check_bbr1_deep_buffer_stability,
+    check_bbr1_shallow_buffer_stability,
+    check_bbr2_stability,
+    integrate_reduced,
+)
+from repro.experiments import report
+from repro.units import mbps_to_pps
+
+
+def main() -> None:
+    capacity = mbps_to_pps(100.0)
+    delay = 0.035
+    rows = []
+    for n in (2, 5, 10, 50):
+        net = SingleBottleneck(capacity, (delay,) * n)
+        deep = bbr1_deep_buffer_equilibrium(net)
+        shallow = bbr1_shallow_buffer_equilibrium(net)
+        fair_v2 = bbr2_fair_equilibrium(net)
+        rows.append(
+            [
+                n,
+                deep.queue_pkts,
+                check_bbr1_deep_buffer_stability(delay).max_real_part,
+                shallow.rates_pps[0],
+                check_bbr1_shallow_buffer_stability(n).max_real_part,
+                fair_v2.queue_pkts,
+                check_bbr2_stability(n, delay).max_real_part,
+            ]
+        )
+    print("Equilibria and leading Jacobian eigenvalues (all negative => stable)")
+    print(
+        report.format_table(
+            [
+                "N",
+                "thm1 queue [pkts]",
+                "thm2 max eig",
+                "thm3 rate [pps]",
+                "thm3 max eig",
+                "thm4 queue [pkts]",
+                "thm5 max eig",
+            ],
+            rows,
+        )
+    )
+
+    print("\nConvergence of the reduced BBRv2 model from a perturbed start:")
+    n = 10
+    net = SingleBottleneck(capacity, (delay,) * n)
+    x0 = capacity / n * np.linspace(0.5, 1.5, n)
+    time, states = integrate_reduced("bbr2", net, x0, queue0=0.0, duration_s=60.0)
+    expected = (n - 1) / (4 * n + 1) * delay * capacity
+    for t in (0.0, 5.0, 20.0, 60.0):
+        k = int(np.searchsorted(time, t, side="right")) - 1
+        spread = np.max(states[k, :-1]) / np.min(states[k, :-1])
+        print(
+            f"  t={t:5.1f}s  queue={states[k, -1]:7.1f} pkts "
+            f"(equilibrium {expected:.1f})  max/min rate ratio={spread:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Trace validation: compare fluid-model and packet-level traces for one CCA.
+
+Reproduces the single-flow trace validation of Figs. 4/5/11/12: the same
+scenario (100 Mbps bottleneck, 31.2 ms RTT, 1 BDP buffer) is run on the
+fluid model and on the packet-level emulator, and the normalised series
+(rate, queue, loss, excess RTT) are printed side by side at a coarse grid.
+
+Usage::
+
+    python examples/trace_validation.py [bbr1|bbr2|reno|cubic] [droptail|red]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import simulate
+from repro.emulation import emulate
+from repro.experiments import scenarios
+
+
+def main(cca: str = "bbr1", discipline: str = "droptail") -> None:
+    config = scenarios.trace_validation_scenario(
+        cca, discipline=discipline, duration_s=10.0, dt=2.5e-4
+    )
+    fluid = simulate(config).normalized_rows()
+    emulated = emulate(config).normalized_rows()
+
+    print(f"Trace validation for {cca} under {discipline} (values in %)")
+    print(f"{'t [s]':>6} | {'rate (model)':>12} {'rate (emu)':>11} | "
+          f"{'queue (model)':>13} {'queue (emu)':>12}")
+    for t in np.arange(0.5, 10.0, 0.5):
+        kf = int(np.searchsorted(fluid["time"], t))
+        ke = int(np.searchsorted(emulated["time"], t))
+        kf = min(kf, len(fluid["time"]) - 1)
+        ke = min(ke, len(emulated["time"]) - 1)
+        print(
+            f"{t:6.1f} | {fluid['rate_pct'][kf]:12.1f} {emulated['rate_pct'][ke]:11.1f} | "
+            f"{fluid['queue_pct'][kf]:13.1f} {emulated['queue_pct'][ke]:12.1f}"
+        )
+    print(
+        f"\nmean rate: model={np.mean(fluid['rate_pct']):.1f}%  "
+        f"emulation={np.mean(emulated['rate_pct']):.1f}%"
+    )
+    print(
+        f"mean queue: model={np.mean(fluid['queue_pct']):.1f}%  "
+        f"emulation={np.mean(emulated['queue_pct']):.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    cca = sys.argv[1] if len(sys.argv) > 1 else "bbr1"
+    discipline = sys.argv[2] if len(sys.argv) > 2 else "droptail"
+    main(cca, discipline)

@@ -1,0 +1,57 @@
+"""Theoretical analysis: reduced models, equilibria, and Lyapunov stability."""
+
+from .equilibrium import (
+    Equilibrium,
+    bbr1_deep_buffer_equilibrium,
+    bbr1_shallow_buffer_equilibrium,
+    bbr1_shallow_buffer_loss_fraction,
+    bbr2_fair_equilibrium,
+    bbr2_queue_reduction_vs_bbr1,
+    equilibrium_residual,
+)
+from .reduced import (
+    SingleBottleneck,
+    bbr1_reduced_rhs,
+    bbr2_reduced_rhs,
+    integrate_reduced,
+)
+from .stability import (
+    StabilityResult,
+    bbr1_deep_buffer_jacobian,
+    bbr1_deep_buffer_max_eigenvalue,
+    bbr1_shallow_buffer_eigenvalues,
+    bbr1_shallow_buffer_jacobian,
+    bbr2_jacobian,
+    check_bbr1_deep_buffer_stability,
+    check_bbr1_numerical_stability,
+    check_bbr1_shallow_buffer_stability,
+    check_bbr2_numerical_stability,
+    check_bbr2_stability,
+    numerical_jacobian,
+)
+
+__all__ = [
+    "Equilibrium",
+    "bbr1_deep_buffer_equilibrium",
+    "bbr1_shallow_buffer_equilibrium",
+    "bbr1_shallow_buffer_loss_fraction",
+    "bbr2_fair_equilibrium",
+    "bbr2_queue_reduction_vs_bbr1",
+    "equilibrium_residual",
+    "SingleBottleneck",
+    "bbr1_reduced_rhs",
+    "bbr2_reduced_rhs",
+    "integrate_reduced",
+    "StabilityResult",
+    "bbr1_deep_buffer_jacobian",
+    "bbr1_deep_buffer_max_eigenvalue",
+    "bbr1_shallow_buffer_eigenvalues",
+    "bbr1_shallow_buffer_jacobian",
+    "bbr2_jacobian",
+    "check_bbr1_deep_buffer_stability",
+    "check_bbr1_numerical_stability",
+    "check_bbr1_shallow_buffer_stability",
+    "check_bbr2_numerical_stability",
+    "check_bbr2_stability",
+    "numerical_jacobian",
+]

@@ -1,0 +1,159 @@
+"""Reduced fluid models used for the theoretical analysis (Sections 5.1.1, 5.2.1).
+
+For stability analysis the paper condenses the full fluid models into small
+autonomous ODE systems:
+
+* **BBRv1** (Eq. 33-34): the ProbeRTT state is dropped (``tau_min = d_i``),
+  the maximum delivery-rate measurement is replaced by its closed form, and
+  the periodic BtlBw adoption becomes a continuous assimilation
+  ``d x_btl/dt = x_max - x_btl``.  The congestion-window constraint enters
+  through ``Delta_i = 2 d_i / (d_i + sum_l q_l / C_l)``.
+* **BBRv2** (Eq. 36-38): probing pulses at ``5/4`` of the estimate, cruising
+  background traffic at the estimate, with the inflight-derived constraint
+  ``delta_i = d_i / (d_i + sum_l q_l / C_l)`` (note ``delta_i = Delta_i / 2``).
+
+These reduced models are used in two ways: numerically (integration with
+scipy to demonstrate convergence to the equilibria of Theorems 1-5) and
+analytically (Jacobians in :mod:`repro.analysis.stability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+
+@dataclass(frozen=True)
+class SingleBottleneck:
+    """A single-bottleneck network for the reduced models.
+
+    Attributes:
+        capacity_pps: bottleneck capacity ``C``.
+        propagation_delays_s: per-flow propagation RTT ``d_i`` (the analysis
+            theorems assume a queue only at the bottleneck, in which case the
+            equilibria require equal delays; heterogeneous values are allowed
+            for numerical exploration).
+        buffer_pkts: bottleneck buffer size (``inf`` = non-limiting).
+    """
+
+    capacity_pps: float
+    propagation_delays_s: tuple[float, ...]
+    buffer_pkts: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.capacity_pps <= 0:
+            raise ValueError("capacity must be positive")
+        if not self.propagation_delays_s:
+            raise ValueError("at least one flow is required")
+        if any(d <= 0 for d in self.propagation_delays_s):
+            raise ValueError("propagation delays must be positive")
+        if self.buffer_pkts <= 0:
+            raise ValueError("buffer must be positive")
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.propagation_delays_s)
+
+
+def bbr1_delta(delays: np.ndarray, queue: float, capacity: float) -> np.ndarray:
+    """BBRv1 congestion-window factor ``Delta_i = 2 d_i / (d_i + q / C)`` (Eq. 33)."""
+    return 2.0 * delays / (delays + queue / capacity)
+
+
+def bbr2_delta(delays: np.ndarray, queue: float, capacity: float) -> np.ndarray:
+    """BBRv2 inflight factor ``delta_i = d_i / (d_i + q / C)`` (Eq. 36)."""
+    return delays / (delays + queue / capacity)
+
+
+def bbr1_xmax(x_btl: np.ndarray, delta: np.ndarray, queue: float, capacity: float) -> np.ndarray:
+    """Maximum delivery-rate measurement of BBRv1 (Eq. 33)."""
+    probe = np.minimum(1.25, delta) * x_btl
+    background = np.minimum(1.0, delta) * x_btl
+    if queue > 0:
+        total_others = np.sum(background) - background
+        return probe * capacity / (probe + total_others)
+    return probe
+
+
+def bbr2_xmax(x_btl: np.ndarray, delta: np.ndarray, queue: float, capacity: float) -> np.ndarray:
+    """Maximum delivery-rate measurement of BBRv2 (Eq. 38)."""
+    probe = 1.25 * np.minimum(1.0, delta) * x_btl
+    background = np.minimum(1.0, delta) * x_btl
+    if queue > 0:
+        total_others = np.sum(background) - background
+        return probe * capacity / (probe + total_others)
+    return probe
+
+
+def bbr1_reduced_rhs(t: float, state: np.ndarray, net: SingleBottleneck) -> np.ndarray:
+    """Right-hand side of the reduced BBRv1 dynamics.
+
+    State layout: ``[x_btl_1, ..., x_btl_N, q]``.
+    """
+    delays = np.asarray(net.propagation_delays_s)
+    n = net.num_flows
+    x_btl = np.maximum(state[:n], 1e-9)
+    queue = float(np.clip(state[n], 0.0, net.buffer_pkts))
+    delta = bbr1_delta(delays, queue, net.capacity_pps)
+    x_max = bbr1_xmax(x_btl, delta, queue, net.capacity_pps)
+    dx = x_max - x_btl  # Eq. (34)
+    arrival = float(np.sum(np.minimum(1.0, delta) * x_btl))
+    dq = arrival - net.capacity_pps
+    if queue <= 0 and dq < 0:
+        dq = 0.0
+    if queue >= net.buffer_pkts and dq > 0:
+        dq = 0.0
+    return np.concatenate([dx, [dq]])
+
+
+def bbr2_reduced_rhs(t: float, state: np.ndarray, net: SingleBottleneck) -> np.ndarray:
+    """Right-hand side of the reduced BBRv2 dynamics (same state layout)."""
+    delays = np.asarray(net.propagation_delays_s)
+    n = net.num_flows
+    x_btl = np.maximum(state[:n], 1e-9)
+    queue = float(np.clip(state[n], 0.0, net.buffer_pkts))
+    delta = bbr2_delta(delays, queue, net.capacity_pps)
+    x_max = bbr2_xmax(x_btl, delta, queue, net.capacity_pps)
+    dx = x_max - x_btl
+    arrival = float(np.sum(np.minimum(1.0, delta) * x_btl))
+    dq = arrival - net.capacity_pps
+    if queue <= 0 and dq < 0:
+        dq = 0.0
+    if queue >= net.buffer_pkts and dq > 0:
+        dq = 0.0
+    return np.concatenate([dx, [dq]])
+
+
+def integrate_reduced(
+    version: str,
+    net: SingleBottleneck,
+    x_btl0: np.ndarray,
+    queue0: float,
+    duration_s: float = 60.0,
+    max_step: float = 0.05,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integrate a reduced model and return ``(time, states)``.
+
+    ``states`` has shape ``(len(time), N + 1)`` with the queue as last column.
+    """
+    if version not in ("bbr1", "bbr2"):
+        raise ValueError("version must be 'bbr1' or 'bbr2'")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    x_btl0 = np.asarray(x_btl0, dtype=float)
+    if x_btl0.shape != (net.num_flows,):
+        raise ValueError("x_btl0 must have one entry per flow")
+    rhs = bbr1_reduced_rhs if version == "bbr1" else bbr2_reduced_rhs
+    solution = solve_ivp(
+        rhs,
+        (0.0, duration_s),
+        np.concatenate([x_btl0, [queue0]]),
+        args=(net,),
+        max_step=max_step,
+        dense_output=False,
+        rtol=1e-8,
+        atol=1e-8,
+    )
+    return solution.t, solution.y.T

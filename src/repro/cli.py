@@ -1,0 +1,142 @@
+"""Command-line interface: run scenarios, sweeps, and figure regenerations.
+
+Examples::
+
+    repro-bbr trace bbr1 --discipline droptail --duration 10
+    repro-bbr sweep --substrate fluid --buffers 1 4 7 --mixes BBRv1 BBRv1/RENO
+    repro-bbr figure fig06_fairness
+    repro-bbr theorems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import dumbbell_scenario
+from .core.simulator import simulate
+from .emulation.runner import emulate
+from .experiments import figures, report, scenarios, sweep
+from .metrics.aggregate import aggregate_metrics
+
+
+def _add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("trace", help="run a single-flow trace-validation scenario")
+    parser.add_argument("cca", choices=["reno", "cubic", "bbr1", "bbr2"])
+    parser.add_argument("--discipline", choices=list(scenarios.DISCIPLINES), default="droptail")
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
+    parser.add_argument("--buffer-bdp", type=float, default=1.0)
+
+
+def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("sweep", help="run the aggregate-validation sweep")
+    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
+    parser.add_argument("--buffers", type=float, nargs="+", default=list(figures.DEFAULT_SWEEP_BUFFERS))
+    parser.add_argument("--mixes", nargs="+", default=list(scenarios.CCA_MIXES))
+    parser.add_argument("--disciplines", nargs="+", default=list(scenarios.DISCIPLINES))
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--short-rtt", action="store_true")
+    parser.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
+
+
+def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("figure", help="regenerate one aggregate figure")
+    parser.add_argument("name", choices=sorted(figures.AGGREGATE_FIGURES))
+    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
+    parser.add_argument("--buffers", type=float, nargs="+", default=list(figures.DEFAULT_SWEEP_BUFFERS))
+    parser.add_argument("--mixes", nargs="+", default=None)
+    parser.add_argument("--disciplines", nargs="+", default=None)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--short-rtt", action="store_true")
+
+
+def _add_theorem_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser("theorems", help="print the Theorem 1-5 summary table")
+    parser.add_argument("--flows", type=int, nargs="+", default=[2, 5, 10, 50])
+    parser.add_argument("--delay", type=float, default=0.035)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bbr",
+        description="Reproduction of the IMC 2022 BBR fluid-model paper",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_trace_parser(subparsers)
+    _add_sweep_parser(subparsers)
+    _add_figure_parser(subparsers)
+    _add_theorem_parser(subparsers)
+    return parser
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    config = dumbbell_scenario(
+        [args.cca],
+        buffer_bdp=args.buffer_bdp,
+        discipline=args.discipline,
+        duration_s=args.duration,
+    )
+    trace = simulate(config) if args.substrate == "fluid" else emulate(config)
+    metrics = aggregate_metrics(trace)
+    rows = [[key, value] for key, value in metrics.as_dict().items()]
+    print(report.format_table(["metric", "value"], rows))
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    points = sweep.run_sweep(
+        mixes=args.mixes,
+        buffers_bdp=args.buffers,
+        disciplines=args.disciplines,
+        substrate=args.substrate,
+        short_rtt=args.short_rtt,
+        duration_s=args.duration,
+    )
+    rows = [point.row() for point in points]
+    print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+    if args.csv:
+        path = report.write_csv(args.csv, rows)
+        print(f"wrote {path}")
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    metric = figures.AGGREGATE_FIGURES[args.name]
+    data = figures.aggregate_figure(
+        metric,
+        substrate=args.substrate,
+        buffers_bdp=args.buffers,
+        mixes=args.mixes,
+        disciplines=args.disciplines,
+        duration_s=args.duration,
+        short_rtt=args.short_rtt,
+    )
+    for discipline, by_mix in data.items():
+        print(report.series_table(f"{args.name} [{discipline}]", by_mix))
+        print()
+    return 0
+
+
+def _run_theorems(args: argparse.Namespace) -> int:
+    rows = figures.theorem_table(flow_counts=args.flows, propagation_delay_s=args.delay)
+    print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "trace": _run_trace,
+        "sweep": _run_sweep,
+        "figure": _run_figure,
+        "theorems": _run_theorems,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

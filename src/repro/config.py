@@ -1,0 +1,271 @@
+"""Scenario configuration dataclasses shared by the fluid model and the
+packet-level emulator.
+
+A scenario is a dumbbell network (the topology used throughout the paper,
+Fig. 3): ``N`` senders, each connected to a switch over its own unsaturated
+access link, and a single shared bottleneck link between the switch and the
+destination.  The configuration captures everything both substrates need:
+link capacity, buffer size, propagation delays, queue discipline, the CCA
+run by each sender, and numerical parameters of the fluid model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from . import units
+
+#: Queue disciplines supported by both the fluid model and the emulator.
+QUEUE_DISCIPLINES = ("droptail", "red")
+
+#: Congestion-control algorithms supported by both substrates.
+CCA_NAMES = ("reno", "cubic", "bbr1", "bbr2")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Configuration of a single link.
+
+    Attributes:
+        capacity_mbps: transmission capacity in Mbps.
+        delay_s: one-way propagation delay in seconds.
+        buffer_bdp: buffer size expressed in multiples of the bottleneck BDP
+            (the paper sweeps 1..7 BDP).  ``math.inf`` means unbounded.
+        discipline: ``"droptail"`` or ``"red"``.
+    """
+
+    capacity_mbps: float
+    delay_s: float
+    buffer_bdp: float = 1.0
+    discipline: str = "droptail"
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ValueError("link capacity must be positive")
+        if self.delay_s < 0:
+            raise ValueError("link delay must be non-negative")
+        if self.buffer_bdp <= 0:
+            raise ValueError("buffer size must be positive")
+        if self.discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(f"unknown queue discipline {self.discipline!r}")
+
+    @property
+    def capacity_pps(self) -> float:
+        """Capacity in packets per second."""
+        return units.mbps_to_pps(self.capacity_mbps)
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Configuration of a single sender (agent).
+
+    Attributes:
+        cca: name of the congestion-control algorithm (see ``CCA_NAMES``).
+        access_delay_s: one-way propagation delay of the sender's private
+            access link (the heterogeneous ``d_{l_i}`` of Fig. 3).
+        start_time_s: time at which the flow starts sending.
+    """
+
+    cca: str
+    access_delay_s: float = 0.005
+    start_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cca not in CCA_NAMES:
+            raise ValueError(f"unknown CCA {self.cca!r}; expected one of {CCA_NAMES}")
+        if self.access_delay_s < 0:
+            raise ValueError("access delay must be non-negative")
+        if self.start_time_s < 0:
+            raise ValueError("start time must be non-negative")
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Numerical parameters of the fluid model.
+
+    Attributes:
+        dt: integration step of the method of steps, in seconds.  The paper
+            uses 10 microseconds; 100 microseconds is indistinguishable at
+            100 Mbps scale and an order of magnitude cheaper.
+        sigmoid_sharpness: the ``K`` of Eq. (5); controls how sharply the
+            smooth drop-tail loss switches on at ``y = C``.  Interpreted
+            relative to the bottleneck capacity (dimensionless argument).
+        droptail_exponent: the ``L`` of Eq. (4).
+        loss_epsilon: loss-probability offset used where the paper applies a
+            sigmoid directly to the loss probability (Eq. 30), so that zero
+            loss yields no reaction.
+        loss_sharpness: sharpness of sigmoid gates whose argument is a loss
+            probability (values in [0, 1] need a much sharper gate than
+            time-valued arguments).
+        literal_xmax: if True, track the maximum of the *sending* rate in
+            Eq. (18) exactly as printed; if False (default) track the maximum
+            *delivery* rate as the surrounding text and BBR itself do.
+        whi_init_bdp: initial value of BBRv2's ``inflight_hi`` (``w_hi``) in
+            BDP multiples, or ``None`` to start it effectively unbounded.
+            The paper uses a buffer-dependent initial condition to surface
+            the large-buffer bufferbloat of Insight 5.
+        loss_based_init_window_pkts: initial congestion window (packets) of
+            the Reno and CUBIC fluid models.  The fluid models have no
+            slow-start phase (Insight 9), so short aggregate scenarios use a
+            window near the per-flow fair share to mimic the state reached
+            after slow start.
+    """
+
+    dt: float = 1e-4
+    sigmoid_sharpness: float = 200.0
+    droptail_exponent: float = 20.0
+    loss_epsilon: float = 5e-3
+    loss_sharpness: float = 2000.0
+    literal_xmax: bool = False
+    whi_init_bdp: float | None = None
+    loss_based_init_window_pkts: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.sigmoid_sharpness <= 0:
+            raise ValueError("sigmoid sharpness must be positive")
+        if self.droptail_exponent < 1:
+            raise ValueError("drop-tail exponent must be >= 1")
+        if not 0 <= self.loss_epsilon < 1:
+            raise ValueError("loss epsilon must be in [0, 1)")
+        if self.loss_sharpness <= 0:
+            raise ValueError("loss sharpness must be positive")
+        if self.whi_init_bdp is not None and self.whi_init_bdp <= 0:
+            raise ValueError("whi_init_bdp must be positive when set")
+        if self.loss_based_init_window_pkts < 1:
+            raise ValueError("initial window must be at least one packet")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete dumbbell scenario.
+
+    Attributes:
+        bottleneck: configuration of the shared bottleneck link.
+        flows: per-sender configurations.
+        duration_s: simulated time.
+        fluid: numerical parameters for the fluid-model substrate.
+        seed: seed for any randomness in the packet-level emulator.
+    """
+
+    bottleneck: LinkConfig
+    flows: tuple[FlowConfig, ...]
+    duration_s: float = 5.0
+    fluid: FluidParams = field(default_factory=FluidParams)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ValueError("a scenario needs at least one flow")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        object.__setattr__(self, "flows", tuple(self.flows))
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.flows)
+
+    def rtt_s(self, flow_index: int) -> float:
+        """Two-way propagation delay of a flow's path (no queueing)."""
+        flow = self.flows[flow_index]
+        return 2.0 * (flow.access_delay_s + self.bottleneck.delay_s)
+
+    def mean_rtt_s(self) -> float:
+        """Mean propagation RTT over all flows."""
+        return sum(self.rtt_s(i) for i in range(self.num_flows)) / self.num_flows
+
+    def bottleneck_bdp_packets(self) -> float:
+        """Bottleneck BDP in packets using the mean propagation RTT."""
+        return units.bdp_packets(self.bottleneck.capacity_pps, self.mean_rtt_s())
+
+    def buffer_packets(self) -> float:
+        """Bottleneck buffer size in packets."""
+        if math.isinf(self.bottleneck.buffer_bdp):
+            return math.inf
+        return self.bottleneck.buffer_bdp * self.bottleneck_bdp_packets()
+
+    def with_buffer(self, buffer_bdp: float) -> "ScenarioConfig":
+        """Return a copy of the scenario with a different buffer size."""
+        return dataclasses.replace(
+            self, bottleneck=dataclasses.replace(self.bottleneck, buffer_bdp=buffer_bdp)
+        )
+
+    def with_discipline(self, discipline: str) -> "ScenarioConfig":
+        """Return a copy of the scenario with a different queue discipline."""
+        return dataclasses.replace(
+            self, bottleneck=dataclasses.replace(self.bottleneck, discipline=discipline)
+        )
+
+    def with_duration(self, duration_s: float) -> "ScenarioConfig":
+        """Return a copy of the scenario with a different duration."""
+        return dataclasses.replace(self, duration_s=duration_s)
+
+
+def spread_access_delays(
+    num_flows: int,
+    rtt_range_s: tuple[float, float],
+    bottleneck_delay_s: float,
+) -> list[float]:
+    """Deterministically spread access-link delays so that flow RTTs cover a range.
+
+    The paper selects total RTTs "randomly between 30 and 40 ms"; the fluid
+    model is deterministic, so we spread the RTTs evenly over the requested
+    range (which is what a uniform random draw converges to in distribution)
+    and let the packet emulator reuse the same values for comparability.
+    """
+    low, high = rtt_range_s
+    if low > high:
+        raise ValueError("rtt range must be ordered (low, high)")
+    if low < 2 * bottleneck_delay_s:
+        raise ValueError(
+            "minimum RTT cannot be smaller than the bottleneck round-trip delay"
+        )
+    if num_flows <= 0:
+        raise ValueError("num_flows must be positive")
+    delays = []
+    for i in range(num_flows):
+        if num_flows == 1:
+            rtt = (low + high) / 2.0
+        else:
+            rtt = low + (high - low) * i / (num_flows - 1)
+        delays.append((rtt - 2 * bottleneck_delay_s) / 2.0)
+    return delays
+
+
+def dumbbell_scenario(
+    ccas: Sequence[str],
+    capacity_mbps: float = 100.0,
+    bottleneck_delay_s: float = 0.010,
+    rtt_range_s: tuple[float, float] = (0.030, 0.040),
+    buffer_bdp: float = 1.0,
+    discipline: str = "droptail",
+    duration_s: float = 5.0,
+    fluid: FluidParams | None = None,
+    seed: int = 1,
+) -> ScenarioConfig:
+    """Build the canonical dumbbell scenario of the paper's evaluation.
+
+    ``ccas`` lists one CCA name per sender; heterogeneous mixes are expressed
+    by listing different names (e.g. 5x ``"bbr1"`` + 5x ``"reno"``).
+    """
+    access = spread_access_delays(len(ccas), rtt_range_s, bottleneck_delay_s)
+    flows = tuple(
+        FlowConfig(cca=cca, access_delay_s=delay)
+        for cca, delay in zip(ccas, access)
+    )
+    return ScenarioConfig(
+        bottleneck=LinkConfig(
+            capacity_mbps=capacity_mbps,
+            delay_s=bottleneck_delay_s,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+        ),
+        flows=flows,
+        duration_s=duration_s,
+        fluid=fluid or FluidParams(),
+        seed=seed,
+    )

@@ -1,0 +1,29 @@
+"""Fluid models of the network and of the BBRv1/BBRv2/Reno/CUBIC CCAs."""
+
+from .bbr1 import Bbr1Fluid, Bbr1Params
+from .bbr2 import Bbr2Fluid, Bbr2Params
+from .cubic import CubicFluid
+from .flow import FlowInputs, FlowState, FluidCCA
+from .network import Link, Network, Path
+from .registry import available_ccas, create_model
+from .reno import RenoFluid
+from .simulator import FluidSimulator, simulate
+
+__all__ = [
+    "Bbr1Fluid",
+    "Bbr1Params",
+    "Bbr2Fluid",
+    "Bbr2Params",
+    "CubicFluid",
+    "FlowInputs",
+    "FlowState",
+    "FluidCCA",
+    "Link",
+    "Network",
+    "Path",
+    "RenoFluid",
+    "FluidSimulator",
+    "simulate",
+    "available_ccas",
+    "create_model",
+]

@@ -1,0 +1,191 @@
+"""BBRv1 fluid model (Sections 3.2 and 3.3 of the paper).
+
+BBRv1 continuously estimates two path properties — the bottleneck bandwidth
+``BtlBw`` (state ``x_btl``) and the minimum round-trip time ``RTprop``
+(state ``tau_min``) — and alternates between two operating states:
+
+* **ProbeBW** (almost all of the time): an eight-phase gain cycle of
+  duration ``tau_min`` per phase.  One phase paces at ``5/4 * BtlBw`` to
+  probe for more bandwidth, the next at ``3/4 * BtlBw`` to drain the queue
+  built up by the probe, the remaining six at ``BtlBw``.  At the end of the
+  cycle the maximum measured delivery rate becomes the new ``BtlBw``.
+* **ProbeRTT** (200 ms every 10 s, unless a new minimum RTT keeps being
+  observed): the inflight is cut to four segments so the queue drains and
+  the propagation delay becomes measurable.
+
+In addition, BBRv1 maintains a congestion window of twice the estimated
+BDP, which — contrary to the design intention — becomes the binding
+constraint when competing against loss-based CCAs in deep buffers.
+
+Modelling notes (cf. DESIGN.md): the paper expresses the inherently discrete
+parts (ProbeRTT toggling, period rollover, the adoption of the period's
+maximum delivery rate) as sharp sigmoids so that the whole system reads as
+one ODE.  We implement those transitions as crisp guarded updates evaluated
+every integration step — which is what the sharp sigmoids approximate and
+what the real protocol does — and keep the genuinely continuous parts
+(probing pulse shape, inflight integration) smooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from . import smooth
+from .flow import FlowInputs, FlowState, FluidCCA
+from .network import Network
+
+#: Duration of the ProbeRTT state (seconds).
+PROBE_RTT_DURATION_S: float = 0.2
+#: Interval without a new minimum-RTT sample after which ProbeRTT is entered.
+PROBE_RTT_INTERVAL_S: float = 10.0
+#: ProbeRTT inflight limit of BBRv1, in segments (packets).
+PROBE_RTT_CWND_PKTS: float = 4.0
+#: Number of phases in the ProbeBW gain cycle.
+GAIN_CYCLE_PHASES: int = 8
+#: Pacing-gain of the probing phase.
+PROBE_GAIN: float = 1.25
+#: Pacing-gain of the draining phase.
+DRAIN_GAIN: float = 0.75
+#: Congestion window in ProbeBW state, in estimated BDPs.
+CWND_GAIN: float = 2.0
+#: Tolerance when deciding whether a latency sample establishes a new minimum.
+RTT_SAMPLE_EPS_S: float = 1e-6
+
+
+@dataclass
+class Bbr1Params:
+    """Tunable parameters of the BBRv1 fluid model.
+
+    Attributes:
+        initial_btl_share: initial ``BtlBw`` estimate as a share of the
+            bottleneck capacity.  ``None`` (default) means ``1.0``: every
+            flow starts believing it can obtain the full capacity, which is
+            the state the (unmodelled) start-up phase leaves behind and which
+            the paper's experiments include in their 5-second aggregates.
+            ``1/N`` starts the flows at their fair share instead.
+        sigmoid_sharpness: sharpness of the probing-pulse sigmoids (Eq. 21).
+    """
+
+    initial_btl_share: float | None = None
+    sigmoid_sharpness: float = smooth.DEFAULT_SHARPNESS
+
+
+class Bbr1Fluid(FluidCCA):
+    """Fluid model of BBRv1."""
+
+    name = "bbr1"
+
+    def __init__(self, params: Bbr1Params | None = None) -> None:
+        self.params = params or Bbr1Params()
+
+    # ------------------------------------------------------------------ #
+    # Initialisation
+    # ------------------------------------------------------------------ #
+
+    def initial_state(
+        self, flow_index: int, num_flows: int, network: Network, params: Any
+    ) -> FlowState:
+        bottleneck = network.links[network.bottleneck_of(flow_index)]
+        share = self.params.initial_btl_share
+        if share is None:
+            share = 1.0
+        if not 0 < share <= 2.0:
+            raise ValueError("initial_btl_share must be in (0, 2]")
+        state = FlowState()
+        extra = state.extra
+        extra["x_btl"] = share * bottleneck.capacity_pps
+        extra["x_max"] = 0.0
+        extra["tau_min"] = network.propagation_rtt(flow_index)
+        extra["t_pbw"] = 0.0
+        extra["t_prt"] = 0.0
+        extra["m_prt"] = 0.0
+        # Desynchronise the gain cycles of same-RTT flows deterministically,
+        # exactly as the paper does (phase = agent id modulo 6, Sec. 3.3).
+        extra["phase"] = float(flow_index % 6)
+        extra["cwnd"] = CWND_GAIN * extra["x_btl"] * extra["tau_min"]
+        state.rate = 0.0
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Per-step dynamics
+    # ------------------------------------------------------------------ #
+
+    def step(self, state: FlowState, inputs: FlowInputs) -> None:
+        if not inputs.active:
+            state.rate = 0.0
+            return
+        extra = state.extra
+        dt = inputs.dt
+
+        # --- RTprop estimation (Eq. 9) -------------------------------- #
+        new_min_sample = inputs.tau_delayed < extra["tau_min"] - RTT_SAMPLE_EPS_S
+        if inputs.tau_delayed < extra["tau_min"]:
+            extra["tau_min"] = inputs.tau_delayed
+        tau_min = extra["tau_min"]
+
+        # --- ProbeRTT state machine (Eq. 11-13) ------------------------ #
+        in_probe_rtt = extra["m_prt"] >= 0.5
+        extra["t_prt"] += dt
+        if new_min_sample and not in_probe_rtt:
+            # A fresh minimum-RTT sample re-arms the 10 s ProbeRTT timer.
+            extra["t_prt"] = 0.0
+        threshold = PROBE_RTT_DURATION_S if in_probe_rtt else PROBE_RTT_INTERVAL_S
+        if extra["t_prt"] >= threshold:
+            extra["m_prt"] = 0.0 if in_probe_rtt else 1.0
+            extra["t_prt"] = 0.0
+            in_probe_rtt = extra["m_prt"] >= 0.5
+
+        # --- ProbeBW period clock and BtlBw adoption (Eq. 16, 18, 20) -- #
+        extra["t_pbw"] += dt
+        period = GAIN_CYCLE_PHASES * tau_min
+        if extra["t_pbw"] >= period:
+            if extra["x_max"] > 0.0:
+                extra["x_btl"] = extra["x_max"]
+            extra["x_max"] = 0.0
+            extra["t_pbw"] = 0.0
+        measurement = state.rate if _literal_xmax(inputs) else inputs.delivery_rate
+        if measurement > extra["x_max"]:
+            extra["x_max"] = measurement
+
+        # --- Pacing rate with probing/draining pulses (Eq. 21-22) ------ #
+        x_btl = extra["x_btl"]
+        phase = int(extra["phase"])
+        sharpness = self.params.sigmoid_sharpness / max(tau_min, 1e-6)
+        probe = smooth.phase_pulse(extra["t_pbw"], phase, tau_min, sharpness)
+        drain = smooth.phase_pulse(extra["t_pbw"], phase + 1, tau_min, sharpness)
+        pacing = x_btl * (1.0 + (PROBE_GAIN - 1.0) * probe - (1.0 - DRAIN_GAIN) * drain)
+
+        # --- Inflight limits and sending rate (Eq. 14-15, 23) ----------- #
+        bdp = x_btl * tau_min
+        cwnd_pbw = CWND_GAIN * bdp
+        extra["cwnd"] = PROBE_RTT_CWND_PKTS if in_probe_rtt else cwnd_pbw
+        tau = max(inputs.tau, 1e-9)
+        if in_probe_rtt:
+            state.rate = PROBE_RTT_CWND_PKTS / tau
+        else:
+            state.rate = min(cwnd_pbw / tau, pacing)
+        self.update_inflight(state, inputs)
+
+    def congestion_window(self, state: FlowState) -> float:
+        return state.extra["cwnd"]
+
+    def trace_fields(self, state: FlowState) -> dict[str, float]:
+        extra = state.extra
+        return {
+            "x_btl": extra["x_btl"],
+            "x_max": extra["x_max"],
+            "tau_min": extra["tau_min"],
+            "cwnd": extra["cwnd"],
+            "m_prt": extra["m_prt"],
+            "t_pbw": extra["t_pbw"],
+        }
+
+
+def _literal_xmax(inputs: FlowInputs) -> bool:
+    """Whether to track the literal Eq. (18) (max of the sending rate).
+
+    The simulator stores the choice on the inputs object so the model itself
+    stays stateless with respect to numerical configuration.
+    """
+    return getattr(inputs, "literal_xmax", False)

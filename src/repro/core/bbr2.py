@@ -1,0 +1,281 @@
+"""BBRv2 fluid model (Section 3.4 of the paper).
+
+BBRv2 keeps BBRv1's two estimators (``BtlBw``/``x_btl`` and
+``RTprop``/``tau_min``) and its ProbeRTT state, but restructures the
+bandwidth-probing (ProbeBW) state to be less aggressive:
+
+* probing periods are much longer — ``min(63 RTTs, 2..3 s)`` instead of
+  eight RTTs;
+* a period consists of a *cruise* → *probe up* → *probe down* → *cruise*
+  sequence driven by measurements rather than by time: the probe raises the
+  pacing gain to 5/4 until the inflight reaches 5/4 of the estimated BDP or
+  loss exceeds 2 %, then the 3/4 drain gain is applied until the inflight
+  falls back to ``min(BDP, 0.85 * inflight_hi)``;
+* two additional inflight bounds couple the sending rate to loss:
+  ``inflight_hi`` (``w_hi``, long-term, grows while probing succeeds and is
+  multiplicatively decreased by 30 % under >2 % loss) and ``inflight_lo``
+  (``w_lo``, short-term, active while cruising and decreased by 30 % per RTT
+  under loss);
+* the ProbeRTT inflight limit is half the estimated BDP instead of four
+  segments.
+
+The mode variables ``m_dwn`` (probe-down / draining) and ``m_crs``
+(cruising) of the paper are kept as discrete states with crisp guarded
+transitions (Eq. 26/27); the continuous dynamics of ``w_hi``/``w_lo``
+(Eq. 29/30) are integrated as written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from . import smooth
+from .flow import FlowInputs, FlowState, FluidCCA
+from .network import Network
+
+#: Duration of the ProbeRTT state (seconds).
+PROBE_RTT_DURATION_S: float = 0.2
+#: Interval without a new minimum-RTT sample after which ProbeRTT is entered.
+PROBE_RTT_INTERVAL_S: float = 10.0
+#: Maximum probing period in estimated RTTs.
+MAX_PERIOD_RTTS: float = 63.0
+#: Base of the wall-clock bound on the probing period (seconds).
+BASE_PERIOD_S: float = 2.0
+#: Pacing gain while probing for bandwidth.
+PROBE_GAIN: float = 1.25
+#: Pacing gain while draining (probe-down).
+DRAIN_GAIN: float = 0.75
+#: Inflight threshold (in estimated BDPs) that terminates the probe-up phase.
+PROBE_INFLIGHT_GAIN: float = 1.25
+#: Loss threshold that terminates the probe-up phase and triggers w_hi decrease.
+LOSS_THRESHOLD: float = 0.02
+#: Multiplicative decrease applied to inflight_hi / inflight_lo under loss.
+BETA: float = 0.3
+#: Headroom kept below inflight_hi when draining/cruising.
+HEADROOM: float = 0.15
+#: Congestion window in ProbeBW state, in estimated BDPs (the generic BBR cap).
+CWND_GAIN: float = 2.0
+#: Tolerance when deciding whether a latency sample establishes a new minimum.
+RTT_SAMPLE_EPS_S: float = 1e-6
+#: Cap on the exponent of the w_hi exponential-growth term (numerical guard).
+MAX_GROWTH_EXPONENT: float = 20.0
+
+
+@dataclass
+class Bbr2Params:
+    """Tunable parameters of the BBRv2 fluid model.
+
+    Attributes:
+        initial_btl_share: initial ``BtlBw`` estimate as a share of the
+            bottleneck capacity (``None`` = 1.0, the post-start-up estimate;
+            see :class:`repro.core.bbr1.Bbr1Params`).
+        whi_init_bdp: initial ``inflight_hi`` in estimated-BDP multiples.
+            ``None`` uses the value a successful probe would measure
+            (``PROBE_INFLIGHT_GAIN``); Insight 5 is reproduced by choosing it
+            buffer-dependent (what an unconstrained start-up would measure).
+        loss_epsilon: offset applied to the loss sigmoid of Eq. (30) so that
+            zero loss causes no ``w_lo`` decay.
+        sigmoid_sharpness: sharpness of the smooth gates on time/volume terms.
+        loss_sharpness: sharpness of the gates whose argument is a loss
+            probability.  Loss probabilities live in [0, 1], so these gates
+            need a much sharper sigmoid than the time-valued ones for the
+            zero-loss case to yield a negligible reaction.
+    """
+
+    initial_btl_share: float | None = None
+    whi_init_bdp: float | None = None
+    loss_epsilon: float = 5e-3
+    sigmoid_sharpness: float = smooth.DEFAULT_SHARPNESS
+    loss_sharpness: float = 2000.0
+
+
+class Bbr2Fluid(FluidCCA):
+    """Fluid model of BBRv2."""
+
+    name = "bbr2"
+
+    def __init__(self, params: Bbr2Params | None = None) -> None:
+        self.params = params or Bbr2Params()
+
+    # ------------------------------------------------------------------ #
+    # Initialisation
+    # ------------------------------------------------------------------ #
+
+    def initial_state(
+        self, flow_index: int, num_flows: int, network: Network, params: Any
+    ) -> FlowState:
+        bottleneck = network.links[network.bottleneck_of(flow_index)]
+        share = self.params.initial_btl_share
+        if share is None:
+            share = 1.0
+        if not 0 < share <= 2.0:
+            raise ValueError("initial_btl_share must be in (0, 2]")
+        state = FlowState()
+        extra = state.extra
+        extra["x_btl"] = share * bottleneck.capacity_pps
+        extra["x_max"] = 0.0
+        extra["x_max_prev"] = 0.0
+        extra["tau_min"] = network.propagation_rtt(flow_index)
+        extra["t_pbw"] = 0.0
+        extra["t_prt"] = 0.0
+        extra["m_prt"] = 0.0
+        extra["m_dwn"] = 0.0
+        extra["m_crs"] = 0.0
+        # Deterministic desynchronisation of the wall-clock probing period
+        # (Eq. 24): agent i uses 2 + i/N seconds.
+        extra["period_wall_s"] = BASE_PERIOD_S + flow_index / max(num_flows, 1)
+        bdp = extra["x_btl"] * extra["tau_min"]
+        whi_bdp = self.params.whi_init_bdp
+        if whi_bdp is None:
+            whi_bdp = PROBE_INFLIGHT_GAIN
+        extra["w_hi"] = whi_bdp * bdp
+        extra["w_lo"] = min(bdp, (1.0 - HEADROOM) * extra["w_hi"])
+        extra["cwnd"] = CWND_GAIN * bdp
+        state.rate = 0.0
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Per-step dynamics
+    # ------------------------------------------------------------------ #
+
+    def step(self, state: FlowState, inputs: FlowInputs) -> None:
+        if not inputs.active:
+            state.rate = 0.0
+            return
+        extra = state.extra
+        dt = inputs.dt
+        sharp = self.params.sigmoid_sharpness
+
+        # --- RTprop estimation (Eq. 9) -------------------------------- #
+        new_min_sample = inputs.tau_delayed < extra["tau_min"] - RTT_SAMPLE_EPS_S
+        if inputs.tau_delayed < extra["tau_min"]:
+            extra["tau_min"] = inputs.tau_delayed
+        tau_min = extra["tau_min"]
+
+        # --- ProbeRTT state machine (Eq. 11-13) ------------------------ #
+        in_probe_rtt = extra["m_prt"] >= 0.5
+        extra["t_prt"] += dt
+        if new_min_sample and not in_probe_rtt:
+            extra["t_prt"] = 0.0
+        threshold = PROBE_RTT_DURATION_S if in_probe_rtt else PROBE_RTT_INTERVAL_S
+        if extra["t_prt"] >= threshold:
+            extra["m_prt"] = 0.0 if in_probe_rtt else 1.0
+            extra["t_prt"] = 0.0
+            in_probe_rtt = extra["m_prt"] >= 0.5
+
+        # --- Probing-period clock (Eq. 16, 24) -------------------------- #
+        period = min(MAX_PERIOD_RTTS * tau_min, extra["period_wall_s"])
+        extra["t_pbw"] += dt
+        if extra["t_pbw"] >= period:
+            extra["t_pbw"] = 0.0
+            extra["x_max_prev"] = extra["x_max"]
+            extra["x_max"] = 0.0
+            # A new probing period ends the cruise (Eq. 27, second term).
+            extra["m_crs"] = 0.0
+        measurement = state.rate if inputs.literal_xmax else inputs.delivery_rate
+        if measurement > extra["x_max"]:
+            extra["x_max"] = measurement
+
+        # --- Current estimates and derived windows ---------------------- #
+        x_btl = extra["x_btl"]
+        bdp = x_btl * tau_min
+        w_hi = extra["w_hi"]
+        drain_target = min(bdp, (1.0 - HEADROOM) * w_hi)  # the paper's w_minus
+        loss = min(1.0, max(0.0, inputs.path_loss))
+        inflight = state.inflight
+
+        # --- Mode transitions (Eq. 26-27), crisp ------------------------ #
+        cruising = extra["m_crs"] >= 0.5
+        draining = extra["m_dwn"] >= 0.5
+        past_first_rtt = extra["t_pbw"] > tau_min
+        if not cruising and not draining and past_first_rtt:
+            if inflight > PROBE_INFLIGHT_GAIN * bdp or loss > LOSS_THRESHOLD:
+                extra["m_dwn"] = 1.0
+                draining = True
+        if draining:
+            # Eq. (28): adopt the maximum delivery rate of the last two
+            # periods as the new bottleneck-bandwidth estimate.
+            target = max(extra["x_max"], extra["x_max_prev"])
+            if target > 0.0:
+                extra["x_btl"] += dt * (target - extra["x_btl"]) / max(tau_min, 1e-6)
+            if inflight <= drain_target:
+                extra["m_dwn"] = 0.0
+                extra["m_crs"] = 1.0
+                draining = False
+                cruising = True
+        x_btl = extra["x_btl"]
+        bdp = x_btl * tau_min
+        drain_target = min(bdp, (1.0 - HEADROOM) * w_hi)
+
+        # --- inflight_hi dynamics (Eq. 29) ------------------------------ #
+        growth_gate = (
+            (0.0 if cruising else 1.0)
+            * smooth.sigmoid(extra["t_pbw"] - tau_min, sharp / max(tau_min, 1e-6))
+            * smooth.sigmoid(inflight - w_hi, sharp / max(bdp, 1.0))
+        )
+        exponent = min(extra["t_pbw"] / max(tau_min, 1e-6), MAX_GROWTH_EXPONENT)
+        growth = growth_gate * (2.0 ** exponent)
+        decrease = (
+            smooth.sigmoid(loss - LOSS_THRESHOLD, self.params.loss_sharpness)
+            * BETA
+            / max(tau_min, 1e-6)
+            * w_hi
+        )
+        extra["w_hi"] = max(1.0, w_hi + dt * (growth - decrease))
+        w_hi = extra["w_hi"]
+
+        # --- inflight_lo dynamics (Eq. 30) ------------------------------ #
+        w_lo = extra["w_lo"]
+        if cruising:
+            loss_gate = smooth.sigmoid(
+                loss - self.params.loss_epsilon, self.params.loss_sharpness
+            )
+            w_lo = w_lo + dt * (-loss_gate * BETA * w_lo / max(tau_min, 1e-6))
+        else:
+            w_lo = w_lo + dt * (drain_target - w_lo) / max(tau_min, 1e-6)
+        extra["w_lo"] = max(1.0, w_lo)
+
+        # --- Pacing rate (Eq. 25) --------------------------------------- #
+        m_dwn = 1.0 if draining else 0.0
+        probe_gate = smooth.sigmoid(
+            extra["t_pbw"] - tau_min, sharp / max(tau_min, 1e-6)
+        )
+        pacing = x_btl * (
+            1.0
+            + (PROBE_GAIN - 1.0) * probe_gate * (1.0 - m_dwn)
+            - (1.0 - DRAIN_GAIN) * m_dwn
+        )
+
+        # --- Congestion window and sending rate (Eq. 31-32, 14-15) ------ #
+        if cruising:
+            bound = extra["w_lo"]
+        else:
+            bound = w_hi
+        cwnd_pbw = min(CWND_GAIN * bdp, bound)
+        cwnd_prt = bdp / 2.0
+        extra["cwnd"] = cwnd_prt if in_probe_rtt else cwnd_pbw
+        tau = max(inputs.tau, 1e-9)
+        if in_probe_rtt:
+            state.rate = cwnd_prt / tau
+        else:
+            state.rate = min(cwnd_pbw / tau, pacing)
+        self.update_inflight(state, inputs)
+
+    def congestion_window(self, state: FlowState) -> float:
+        return state.extra["cwnd"]
+
+    def trace_fields(self, state: FlowState) -> dict[str, float]:
+        extra = state.extra
+        return {
+            "x_btl": extra["x_btl"],
+            "x_max": extra["x_max"],
+            "tau_min": extra["tau_min"],
+            "cwnd": extra["cwnd"],
+            "w_hi": extra["w_hi"],
+            "w_lo": extra["w_lo"],
+            "m_prt": extra["m_prt"],
+            "m_dwn": extra["m_dwn"],
+            "m_crs": extra["m_crs"],
+            "t_pbw": extra["t_pbw"],
+        }

@@ -1,0 +1,87 @@
+"""TCP CUBIC fluid model (Appendix B.2, following Vardoyan et al.).
+
+CUBIC cannot be written as a single ODE in the window size.  Instead the
+model tracks two instrumental variables (Eq. 40a/40b):
+
+* ``s_i`` — the time since the last loss event, which grows at unit rate in
+  the absence of loss and is pulled back to zero when losses occur, and
+* ``w_max_i`` — the window size at the moment of the last loss, which
+  assimilates towards the current window under loss.
+
+The congestion window is then given by the CUBIC window-growth function
+(Eq. 41) with the standardised constants ``c = 0.4`` and ``b = 0.7``
+(RFC 8312), and the sending rate again follows ``x = w / tau``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .flow import FlowInputs, FlowState, FluidCCA
+from .network import Network
+
+#: CUBIC growth constant ``c`` (RFC 8312 / Linux tcp_cubic).
+CUBIC_C: float = 0.4
+#: CUBIC multiplicative-decrease factor ``b`` (RFC 8312).
+CUBIC_BETA: float = 0.7
+#: Smallest congestion window maintained by the model, in packets.
+MIN_WINDOW_PKTS: float = 1.0
+
+
+def cubic_window(s: float, w_max: float, c: float = CUBIC_C, beta: float = CUBIC_BETA) -> float:
+    """CUBIC window-growth function ``w(s) = c (s - K)^3 + w_max`` (Eq. 41).
+
+    ``K = (w_max * b / c)^(1/3)`` is the time at which the window returns to
+    the pre-loss level ``w_max`` when growing from ``b * w_max``.
+    """
+    if w_max < 0:
+        raise ValueError("w_max must be non-negative")
+    inflection = (w_max * beta / c) ** (1.0 / 3.0)
+    return c * (s - inflection) ** 3 + w_max
+
+
+class CubicFluid(FluidCCA):
+    """Fluid model of TCP CUBIC."""
+
+    name = "cubic"
+
+    def __init__(self, initial_window_pkts: float = 10.0) -> None:
+        if initial_window_pkts < MIN_WINDOW_PKTS:
+            raise ValueError("initial window must be at least one packet")
+        self.initial_window_pkts = initial_window_pkts
+
+    def initial_state(
+        self, flow_index: int, num_flows: int, network: Network, params: Any
+    ) -> FlowState:
+        state = FlowState()
+        state.extra["s"] = 0.0
+        state.extra["w_max"] = self.initial_window_pkts
+        state.extra["cwnd"] = self.initial_window_pkts
+        state.rate = 0.0
+        return state
+
+    def step(self, state: FlowState, inputs: FlowInputs) -> None:
+        if not inputs.active:
+            state.rate = 0.0
+            return
+        s = state.extra["s"]
+        w_max = state.extra["w_max"]
+        w = state.extra["cwnd"]
+        x_delayed = inputs.rate_delayed
+        p = min(1.0, max(0.0, inputs.path_loss))
+        loss_rate = x_delayed * p  # losses per second observed by the sender
+        # Eq. (40a): the elapsed-time variable grows at unit rate and is reset
+        # towards zero at the rate at which losses arrive.
+        s = max(0.0, s + inputs.dt * (1.0 - s * loss_rate))
+        # Eq. (40b): the reference window assimilates to the current window
+        # at the loss-arrival rate.
+        w_max = max(MIN_WINDOW_PKTS, w_max + inputs.dt * (w - w_max) * loss_rate)
+        w = max(MIN_WINDOW_PKTS, cubic_window(s, w_max))
+        state.extra["s"] = s
+        state.extra["w_max"] = w_max
+        state.extra["cwnd"] = w
+        state.rate = w / max(inputs.tau, 1e-9)
+        self.update_inflight(state, inputs)
+
+    def congestion_window(self, state: FlowState) -> float:
+        return state.extra["cwnd"]

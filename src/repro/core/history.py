@@ -1,0 +1,123 @@
+"""Ring-buffer histories of time-varying signals.
+
+The BBR fluid model is a system of *delay* differential equations: the
+arrival rate at a link depends on sending rates one forward propagation
+delay ago (Eq. 1), the RTprop estimator compares against the latency one
+path delay ago (Eq. 9), and the delivery rate uses the link state one
+backward delay ago (Eq. 17).  The method of steps (Section 4.1.1) solves
+such systems by keeping the recent history of every delayed signal and
+reading it back at a fixed lag.
+
+:class:`SignalHistory` stores a scalar signal on the integrator's uniform
+time grid; :class:`VectorHistory` stores one signal per flow (or per link)
+in a single numpy array for efficiency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SignalHistory:
+    """Fixed-lag history of a scalar signal sampled on a uniform grid."""
+
+    def __init__(self, dt: float, max_delay: float, initial: float = 0.0) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.dt = dt
+        # One extra slot so that a lookup of exactly max_delay is in range.
+        self._size = int(np.ceil(max_delay / dt)) + 2
+        self._buffer = np.full(self._size, float(initial))
+        self._head = 0  # index of the most recent sample
+        self._steps = 0
+
+    def push(self, value: float) -> None:
+        """Append the current sample (call exactly once per integration step)."""
+        self._head = (self._head + 1) % self._size
+        self._buffer[self._head] = float(value)
+        self._steps += 1
+
+    def at_delay(self, delay: float) -> float:
+        """Value of the signal ``delay`` seconds ago (clamped to the oldest sample)."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        lag = int(round(delay / self.dt))
+        lag = min(lag, min(self._steps, self._size - 1))
+        return float(self._buffer[(self._head - lag) % self._size])
+
+    @property
+    def current(self) -> float:
+        """Most recently pushed value."""
+        return float(self._buffer[self._head])
+
+
+class VectorHistory:
+    """Fixed-lag history of a vector-valued signal (one entry per flow/link).
+
+    Stored as a ``(slots, width)`` numpy array indexed circularly in time.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        dt: float,
+        max_delay: float,
+        initial: float | np.ndarray = 0.0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.width = width
+        self.dt = dt
+        self._size = int(np.ceil(max_delay / dt)) + 2
+        self._buffer = np.zeros((self._size, width), dtype=float)
+        self._buffer[:] = np.asarray(initial, dtype=float)
+        self._head = 0
+        self._steps = 0
+
+    def push(self, values: np.ndarray) -> None:
+        """Append the current vector sample (call exactly once per step)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.width,):
+            raise ValueError(f"expected shape ({self.width},), got {values.shape}")
+        self._head = (self._head + 1) % self._size
+        self._buffer[self._head] = values
+        self._steps += 1
+
+    def _lag_steps(self, delay: float) -> int:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        lag = int(round(delay / self.dt))
+        return min(lag, min(self._steps, self._size - 1))
+
+    def at_delay(self, index: int, delay: float) -> float:
+        """Value of component ``index`` of the signal ``delay`` seconds ago."""
+        lag = self._lag_steps(delay)
+        return float(self._buffer[(self._head - lag) % self._size, index])
+
+    def vector_at_delay(self, delay: float) -> np.ndarray:
+        """Whole vector ``delay`` seconds ago (single common lag)."""
+        lag = self._lag_steps(delay)
+        return self._buffer[(self._head - lag) % self._size].copy()
+
+    def at_delays(self, delays: np.ndarray) -> np.ndarray:
+        """Per-component lookup: component ``i`` read back ``delays[i]`` seconds ago."""
+        delays = np.asarray(delays, dtype=float)
+        if delays.shape != (self.width,):
+            raise ValueError(f"expected shape ({self.width},), got {delays.shape}")
+        if np.any(delays < 0):
+            raise ValueError("delays must be non-negative")
+        lags = np.rint(delays / self.dt).astype(int)
+        lags = np.minimum(lags, min(self._steps, self._size - 1))
+        rows = (self._head - lags) % self._size
+        return self._buffer[rows, np.arange(self.width)].copy()
+
+    @property
+    def current(self) -> np.ndarray:
+        """Most recently pushed vector."""
+        return self._buffer[self._head].copy()

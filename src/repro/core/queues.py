@@ -1,0 +1,127 @@
+"""Queue and loss models of the fluid network (Section 2).
+
+Two queueing disciplines are modelled, exactly as in the paper:
+
+* **drop-tail** (Eq. 4): loss only occurs when the buffer is (nearly) full,
+  in which case the loss probability equals the relative excess arrival
+  rate.  The hard "queue full" condition is smoothed with a sharp sigmoid
+  and a high power of the relative queue occupancy so that the model stays
+  differentiable.
+* **RED** (Eq. 6): the loss probability tracks the instantaneous relative
+  queue occupancy ``q / B``.  (The paper notes — and we confirm in the
+  emulator comparison — that real RED averages the queue, which the fluid
+  model idealises away.)
+
+The queue itself integrates the difference between the accepted arrival
+rate and the transmission capacity (Eq. 2), clamped to ``[0, B]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import smooth
+
+
+def droptail_loss(
+    arrival_rate: float,
+    capacity: float,
+    queue: float,
+    buffer_size: float,
+    sharpness: float = smooth.DEFAULT_SHARPNESS,
+    exponent: float = 20.0,
+) -> float:
+    """Smooth drop-tail loss probability (Eq. 4).
+
+    ``p = sigma(y - C) * (1 - C / y) * (q / B)^L`` — loss only when the
+    arrival rate exceeds capacity *and* the queue is close to the buffer
+    limit, in which case the loss equals the relative excess rate.
+
+    The sigmoid argument is normalised by the capacity so that the sharpness
+    constant is dimensionless (a 0.5 % rate excess already saturates it).
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if arrival_rate < 0:
+        raise ValueError("arrival rate must be non-negative")
+    if queue < 0:
+        raise ValueError("queue must be non-negative")
+    if buffer_size <= 0:
+        raise ValueError("buffer size must be positive")
+    if arrival_rate == 0:
+        return 0.0
+    if math.isinf(buffer_size):
+        return 0.0
+    gate = smooth.sigmoid((arrival_rate - capacity) / capacity, sharpness)
+    excess = max(0.0, 1.0 - capacity / arrival_rate)
+    occupancy = min(1.0, queue / buffer_size) ** exponent
+    return float(min(1.0, gate * excess * occupancy))
+
+
+def red_loss(queue: float, buffer_size: float) -> float:
+    """Idealised RED loss probability ``p = q / B`` (Eq. 6)."""
+    if queue < 0:
+        raise ValueError("queue must be non-negative")
+    if buffer_size <= 0:
+        raise ValueError("buffer size must be positive")
+    if math.isinf(buffer_size):
+        return 0.0
+    return float(min(1.0, queue / buffer_size))
+
+
+def loss_probability(
+    discipline: str,
+    arrival_rate: float,
+    capacity: float,
+    queue: float,
+    buffer_size: float,
+    sharpness: float = smooth.DEFAULT_SHARPNESS,
+    exponent: float = 20.0,
+) -> float:
+    """Dispatch to the loss model of the given queue discipline."""
+    if discipline == "droptail":
+        return droptail_loss(arrival_rate, capacity, queue, buffer_size, sharpness, exponent)
+    if discipline == "red":
+        return red_loss(queue, buffer_size)
+    raise ValueError(f"unknown queue discipline {discipline!r}")
+
+
+def queue_derivative(
+    arrival_rate: float,
+    capacity: float,
+    loss: float,
+    queue: float,
+    buffer_size: float,
+) -> float:
+    """Queue-length derivative (Eq. 2) with reflecting boundaries at 0 and B.
+
+    The queue grows with the *accepted* arrival rate ``(1 - p) * y`` and
+    drains at the link capacity, but can neither become negative nor exceed
+    the buffer size.
+    """
+    if not 0 <= loss <= 1:
+        raise ValueError("loss probability must be in [0, 1]")
+    rate = (1.0 - loss) * arrival_rate - capacity
+    if queue <= 0 and rate < 0:
+        return 0.0
+    if queue >= buffer_size and rate > 0:
+        return 0.0
+    return rate
+
+
+def step_queue(
+    queue: float,
+    arrival_rate: float,
+    capacity: float,
+    loss: float,
+    buffer_size: float,
+    dt: float,
+) -> float:
+    """Advance the queue length by one Euler step, clamped to ``[0, B]``."""
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    derivative = queue_derivative(arrival_rate, capacity, loss, queue, buffer_size)
+    new_queue = queue + dt * derivative
+    if math.isinf(buffer_size):
+        return max(0.0, new_queue)
+    return float(min(buffer_size, max(0.0, new_queue)))

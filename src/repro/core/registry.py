@@ -1,0 +1,41 @@
+"""Factory mapping CCA names to fluid-model instances."""
+
+from __future__ import annotations
+
+from ..config import FluidParams
+from .bbr1 import Bbr1Fluid, Bbr1Params
+from .bbr2 import Bbr2Fluid, Bbr2Params
+from .cubic import CubicFluid
+from .flow import FluidCCA
+from .reno import RenoFluid
+
+
+def create_model(name: str, fluid_params: FluidParams | None = None) -> FluidCCA:
+    """Instantiate the fluid model for a CCA name.
+
+    ``fluid_params`` carries the scenario-level numerical knobs (sigmoid
+    sharpness, BBRv2 ``w_hi`` initial condition) into the model constructors.
+    """
+    params = fluid_params or FluidParams()
+    name = name.lower()
+    if name == "reno":
+        return RenoFluid(initial_window_pkts=params.loss_based_init_window_pkts)
+    if name == "cubic":
+        return CubicFluid(initial_window_pkts=params.loss_based_init_window_pkts)
+    if name == "bbr1":
+        return Bbr1Fluid(Bbr1Params(sigmoid_sharpness=params.sigmoid_sharpness))
+    if name == "bbr2":
+        return Bbr2Fluid(
+            Bbr2Params(
+                whi_init_bdp=params.whi_init_bdp,
+                loss_epsilon=params.loss_epsilon,
+                sigmoid_sharpness=params.sigmoid_sharpness,
+                loss_sharpness=params.loss_sharpness,
+            )
+        )
+    raise ValueError(f"unknown CCA {name!r}")
+
+
+def available_ccas() -> tuple[str, ...]:
+    """Names of the CCAs with a fluid model."""
+    return ("reno", "cubic", "bbr1", "bbr2")

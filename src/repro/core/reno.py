@@ -1,0 +1,62 @@
+"""TCP Reno fluid model (Appendix B.1, following Low et al. and Misra et al.).
+
+In congestion avoidance, Reno grows its congestion window by one segment
+per acknowledged window and halves it upon loss.  The classic fluid
+approximation (Eq. 39) is
+
+    dw/dt = x(t - d) * (1 - p(t - d)) / w  -  x(t - d) * p(t - d) * w / 2
+
+with the sending rate coupled through ``x = w / tau`` (Eq. 8).  The model
+starts directly in congestion avoidance (the paper's fluid models ignore
+the start-up/slow-start phase, see Insight 9) from a configurable initial
+window.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .flow import FlowInputs, FlowState, FluidCCA
+from .network import Network
+
+#: Smallest congestion window the fluid model maintains, in packets.  The
+#: real protocol never shrinks below one segment either.
+MIN_WINDOW_PKTS: float = 1.0
+
+
+class RenoFluid(FluidCCA):
+    """Fluid model of TCP Reno's congestion-avoidance dynamics."""
+
+    name = "reno"
+
+    def __init__(self, initial_window_pkts: float = 10.0) -> None:
+        if initial_window_pkts < MIN_WINDOW_PKTS:
+            raise ValueError("initial window must be at least one packet")
+        self.initial_window_pkts = initial_window_pkts
+
+    def initial_state(
+        self, flow_index: int, num_flows: int, network: Network, params: Any
+    ) -> FlowState:
+        state = FlowState()
+        state.extra["cwnd"] = self.initial_window_pkts
+        state.rate = 0.0
+        return state
+
+    def step(self, state: FlowState, inputs: FlowInputs) -> None:
+        if not inputs.active:
+            state.rate = 0.0
+            return
+        w = state.extra["cwnd"]
+        x_delayed = inputs.rate_delayed
+        p = min(1.0, max(0.0, inputs.path_loss))
+        # Eq. (39): additive increase of one packet per acknowledged window,
+        # multiplicative decrease of half the window per lost packet.
+        growth = x_delayed * (1.0 - p) / max(w, MIN_WINDOW_PKTS)
+        decrease = x_delayed * p * w / 2.0
+        w = max(MIN_WINDOW_PKTS, w + inputs.dt * (growth - decrease))
+        state.extra["cwnd"] = w
+        state.rate = w / max(inputs.tau, 1e-9)
+        self.update_inflight(state, inputs)
+
+    def congestion_window(self, state: FlowState) -> float:
+        return state.extra["cwnd"]

@@ -1,0 +1,323 @@
+"""Method-of-steps integrator for the network fluid model (Section 4.1.1).
+
+The fluid model is a system of delay differential equations: every step the
+simulator
+
+1. reads the delayed sending rates of all flows to form per-link arrival
+   rates (Eq. 1),
+2. evaluates the queue-discipline loss model (Eq. 4 / Eq. 6),
+3. computes per-flow path latency (Eq. 3), observed path loss (Eq. 7) and
+   delivery rate (Eq. 17) from delayed link state,
+4. lets every flow's CCA model advance its own state and sending rate,
+5. integrates the link queues (Eq. 2), and
+6. pushes the new samples into the ring-buffer histories.
+
+The per-flow CCA dynamics live in :mod:`repro.core.reno`, ``cubic``,
+``bbr1`` and ``bbr2``; the simulator is agnostic to them and supports
+arbitrary mixes of CCAs, which is how the heterogeneous scenarios of the
+paper's evaluation (e.g. BBRv1 vs. Reno) are expressed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ScenarioConfig
+from ..metrics.traces import FlowTrace, LinkTrace, Trace
+from . import queues
+from .flow import FlowInputs, FluidCCA
+from .history import VectorHistory
+from .network import Network
+from .registry import create_model
+
+
+@dataclass
+class _LinkState:
+    """Mutable per-link state of the integrator."""
+
+    queue: float = 0.0
+    loss: float = 0.0
+    arrival: float = 0.0
+    departure: float = 0.0
+
+
+class FluidSimulator:
+    """Simulates a :class:`~repro.config.ScenarioConfig` with the fluid model."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        models: dict[int, FluidCCA] | None = None,
+        record_interval_s: float = 1e-3,
+    ) -> None:
+        if record_interval_s < config.fluid.dt:
+            raise ValueError("record interval must be at least one integration step")
+        self.config = config
+        self.network = Network.dumbbell(config)
+        self.dt = config.fluid.dt
+        self.record_interval_s = record_interval_s
+        self.models: dict[int, FluidCCA] = {}
+        for i, flow_cfg in enumerate(config.flows):
+            if models and i in models:
+                self.models[i] = models[i]
+            else:
+                self.models[i] = create_model(flow_cfg.cca, config.fluid)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> Trace:
+        """Integrate the scenario and return the recorded trace."""
+        net = self.network
+        cfg = self.config
+        dt = self.dt
+        num_flows = net.num_flows
+        queued_links = net.queued_link_indices()
+
+        # Per-flow constant bookkeeping.
+        propagation_rtt = np.array(
+            [net.propagation_rtt(i) for i in range(num_flows)], dtype=float
+        )
+        bottleneck_of = [net.bottleneck_of(i) for i in range(num_flows)]
+        forward_delay = np.array(
+            [net.forward_delay(i, bottleneck_of[i]) for i in range(num_flows)]
+        )
+        backward_delay = np.array(
+            [net.backward_delay(i, bottleneck_of[i]) for i in range(num_flows)]
+        )
+        start_times = np.array([f.start_time_s for f in cfg.flows], dtype=float)
+
+        max_delay = float(np.max(propagation_rtt)) + dt
+        rate_history = VectorHistory(num_flows, dt, max_delay)
+        latency_history = VectorHistory(num_flows, dt, max_delay, initial=propagation_rtt)
+        num_links = net.num_links
+        arrival_history = VectorHistory(num_links, dt, max_delay)
+        queue_history = VectorHistory(num_links, dt, max_delay)
+        loss_history = VectorHistory(num_links, dt, max_delay)
+
+        # Per-flow CCA states.
+        states = [
+            self.models[i].initial_state(i, num_flows, net, cfg.fluid)
+            for i in range(num_flows)
+        ]
+        link_states = {idx: _LinkState() for idx in queued_links}
+
+        # Trace recording buffers.
+        steps = int(round(cfg.duration_s / dt))
+        record_every = max(1, int(round(self.record_interval_s / dt)))
+        num_records = steps // record_every + 1
+        rec_time = np.zeros(num_records)
+        rec_rate = np.zeros((num_records, num_flows))
+        rec_delivery = np.zeros((num_records, num_flows))
+        rec_cwnd = np.zeros((num_records, num_flows))
+        rec_inflight = np.zeros((num_records, num_flows))
+        rec_rtt = np.zeros((num_records, num_flows))
+        rec_extras: list[dict[str, np.ndarray]] = [
+            {
+                key: np.zeros(num_records)
+                for key in self.models[i].trace_fields(states[i])
+            }
+            for i in range(num_flows)
+        ]
+        rec_queue = {idx: np.zeros(num_records) for idx in queued_links}
+        rec_loss = {idx: np.zeros(num_records) for idx in queued_links}
+        rec_arrival = {idx: np.zeros(num_records) for idx in queued_links}
+        rec_departure = {idx: np.zeros(num_records) for idx in queued_links}
+        record_index = 0
+
+        users = {idx: net.users(idx) for idx in queued_links}
+        user_forward_delays = {
+            idx: np.array([net.forward_delay(i, idx) for i in users[idx]])
+            for idx in queued_links
+        }
+
+        queue_lengths = {idx: 0.0 for idx in queued_links}
+        current_latency = propagation_rtt.copy()
+        delivery_rates = np.zeros(num_flows)
+
+        for step in range(steps + 1):
+            t = step * dt
+
+            # 1. Link arrival rates from delayed sending rates (Eq. 1).
+            for idx in queued_links:
+                link = net.links[idx]
+                flow_ids = users[idx]
+                delayed = np.array(
+                    [
+                        rate_history.at_delay(i, d)
+                        for i, d in zip(flow_ids, user_forward_delays[idx])
+                    ]
+                )
+                arrival = float(np.sum(delayed))
+                loss = queues.loss_probability(
+                    link.discipline,
+                    arrival,
+                    link.capacity_pps,
+                    queue_lengths[idx],
+                    link.buffer_pkts,
+                    sharpness=cfg.fluid.sigmoid_sharpness,
+                    exponent=cfg.fluid.droptail_exponent,
+                )
+                departure = link.capacity_pps if queue_lengths[idx] > 0 else min(
+                    (1.0 - loss) * arrival, link.capacity_pps
+                )
+                link_states[idx].arrival = arrival
+                link_states[idx].loss = loss
+                link_states[idx].departure = departure
+
+            # 2. Per-flow observations.
+            for i in range(num_flows):
+                current_latency[i] = net.path_latency(i, queue_lengths)
+            for i in range(num_flows):
+                btl = bottleneck_of[i]
+                link = net.links[btl]
+                d_b = backward_delay[i]
+                # Delivery rate of Eq. (17): the flow's delayed sending rate
+                # scaled by its share of the capacity if a queue exists.  The
+                # numerator is read back one extra step so that it samples the
+                # same generation time as the rates inside the delayed arrival
+                # rate; a flow's delivery can never exceed the bottleneck
+                # capacity.
+                own_delayed = rate_history.at_delay(i, propagation_rtt[i] + dt)
+                y_delayed = arrival_history.at_delay(btl, d_b)
+                q_delayed = queue_history.at_delay(btl, d_b)
+                saturated = q_delayed > 0 or y_delayed > link.capacity_pps
+                if saturated and y_delayed > 0:
+                    delivery_rates[i] = min(
+                        own_delayed / y_delayed * link.capacity_pps,
+                        link.capacity_pps,
+                    )
+                else:
+                    delivery_rates[i] = min(own_delayed, link.capacity_pps)
+                # Path loss (Eq. 7), observed one backward delay later.
+                path_loss = loss_history.at_delay(btl, d_b)
+
+                inputs = FlowInputs(
+                    t=t,
+                    dt=dt,
+                    tau=current_latency[i],
+                    tau_delayed=latency_history.at_delay(i, propagation_rtt[i]),
+                    path_loss=path_loss,
+                    delivery_rate=delivery_rates[i],
+                    rate_delayed=own_delayed,
+                    propagation_rtt=propagation_rtt[i],
+                    active=t >= start_times[i],
+                    literal_xmax=cfg.fluid.literal_xmax,
+                )
+                self.models[i].step(states[i], inputs)
+
+            # 3. Record (before integrating queues so t=0 is captured).
+            if step % record_every == 0 and record_index < num_records:
+                rec_time[record_index] = t
+                for i in range(num_flows):
+                    rec_rate[record_index, i] = states[i].rate
+                    rec_delivery[record_index, i] = delivery_rates[i]
+                    rec_cwnd[record_index, i] = self.models[i].congestion_window(states[i])
+                    rec_inflight[record_index, i] = states[i].inflight
+                    rec_rtt[record_index, i] = current_latency[i]
+                    for key, value in self.models[i].trace_fields(states[i]).items():
+                        if key in rec_extras[i]:
+                            rec_extras[i][key][record_index] = value
+                for idx in queued_links:
+                    rec_queue[idx][record_index] = queue_lengths[idx]
+                    rec_loss[idx][record_index] = link_states[idx].loss
+                    rec_arrival[idx][record_index] = link_states[idx].arrival
+                    rec_departure[idx][record_index] = link_states[idx].departure
+                record_index += 1
+
+            # 4. Integrate the link queues (Eq. 2).
+            for idx in queued_links:
+                link = net.links[idx]
+                queue_lengths[idx] = queues.step_queue(
+                    queue_lengths[idx],
+                    link_states[idx].arrival,
+                    link.capacity_pps,
+                    link_states[idx].loss,
+                    link.buffer_pkts,
+                    dt,
+                )
+                link_states[idx].queue = queue_lengths[idx]
+
+            # 5. Push histories.
+            rate_history.push(np.array([s.rate for s in states]))
+            latency_history.push(current_latency)
+            arrivals = np.zeros(num_links)
+            qs = np.zeros(num_links)
+            losses = np.zeros(num_links)
+            for idx in queued_links:
+                arrivals[idx] = link_states[idx].arrival
+                qs[idx] = queue_lengths[idx]
+                losses[idx] = link_states[idx].loss
+            arrival_history.push(arrivals)
+            queue_history.push(qs)
+            loss_history.push(losses)
+
+        return self._build_trace(
+            rec_time[:record_index],
+            rec_rate[:record_index],
+            rec_delivery[:record_index],
+            rec_cwnd[:record_index],
+            rec_inflight[:record_index],
+            rec_rtt[:record_index],
+            [{k: v[:record_index] for k, v in extras.items()} for extras in rec_extras],
+            {idx: rec_queue[idx][:record_index] for idx in queued_links},
+            {idx: rec_loss[idx][:record_index] for idx in queued_links},
+            {idx: rec_arrival[idx][:record_index] for idx in queued_links},
+            {idx: rec_departure[idx][:record_index] for idx in queued_links},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Trace assembly
+    # ------------------------------------------------------------------ #
+
+    def _build_trace(
+        self,
+        time: np.ndarray,
+        rate: np.ndarray,
+        delivery: np.ndarray,
+        cwnd: np.ndarray,
+        inflight: np.ndarray,
+        rtt: np.ndarray,
+        extras: list[dict[str, np.ndarray]],
+        queue: dict[int, np.ndarray],
+        loss: dict[int, np.ndarray],
+        arrival: dict[int, np.ndarray],
+        departure: dict[int, np.ndarray],
+    ) -> Trace:
+        flows = [
+            FlowTrace(
+                cca=self.config.flows[i].cca,
+                rate=rate[:, i],
+                delivery_rate=delivery[:, i],
+                cwnd=cwnd[:, i],
+                inflight=inflight[:, i],
+                rtt=rtt[:, i],
+                extras=extras[i],
+            )
+            for i in range(self.network.num_flows)
+        ]
+        links = []
+        for idx in sorted(queue):
+            link = self.network.links[idx]
+            buffer_pkts = link.buffer_pkts if math.isfinite(link.buffer_pkts) else math.inf
+            links.append(
+                LinkTrace(
+                    name=link.name or f"link-{idx}",
+                    capacity_pps=link.capacity_pps,
+                    buffer_pkts=buffer_pkts,
+                    queue=queue[idx],
+                    loss_prob=loss[idx],
+                    arrival_rate=arrival[idx],
+                    departure_rate=departure[idx],
+                )
+            )
+        return Trace(time=time, flows=flows, links=links, substrate="fluid")
+
+
+def simulate(config: ScenarioConfig, record_interval_s: float = 1e-3) -> Trace:
+    """Convenience wrapper: build a :class:`FluidSimulator` and run it."""
+    return FluidSimulator(config, record_interval_s=record_interval_s).run()

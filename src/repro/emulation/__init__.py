@@ -1,0 +1,27 @@
+"""Packet-level discrete-event emulator (substitute for the paper's mininet testbed)."""
+
+from .cca import Bbr1Packet, Bbr2Packet, CubicPacket, PacketCCA, RenoPacket, create_packet_cca
+from .events import EventQueue
+from .link import BottleneckLink
+from .nodes import Destination, Sender
+from .queues import DropTailQueue, PacketQueue, RedQueue, make_queue
+from .runner import EmulationRunner, emulate
+
+__all__ = [
+    "Bbr1Packet",
+    "Bbr2Packet",
+    "CubicPacket",
+    "PacketCCA",
+    "RenoPacket",
+    "create_packet_cca",
+    "EventQueue",
+    "BottleneckLink",
+    "Destination",
+    "Sender",
+    "DropTailQueue",
+    "PacketQueue",
+    "RedQueue",
+    "make_queue",
+    "EmulationRunner",
+    "emulate",
+]

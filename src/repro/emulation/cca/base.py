@@ -1,0 +1,73 @@
+"""Packet-level congestion-control interface of the emulator.
+
+A :class:`PacketCCA` controls one sender through two knobs — the congestion
+window (in packets) and an optional pacing rate (packets/second) — and is
+driven by three callbacks fired by the sender: one per acknowledgement, one
+per detected loss batch, and one per retransmission timeout.
+
+The :class:`AckSample` carries everything a modern CCA needs: the RTT
+sample, the delivery-rate sample of BBR's bandwidth estimator (delivered
+packets since the acked packet was sent, divided by the elapsed time) and
+the current inflight.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class AckSample:
+    """Measurements delivered to the CCA with each acknowledgement."""
+
+    now: float
+    rtt: float
+    delivery_rate: float
+    inflight: int
+    acked_seq: int
+    newly_delivered: int = 1
+
+
+@dataclass
+class LossEvent:
+    """A batch of packets detected as lost."""
+
+    now: float
+    num_lost: int
+    inflight: int
+    highest_seq_sent: int
+    lost_seqs: tuple[int, ...] = ()
+
+
+class PacketCCA(abc.ABC):
+    """Abstract packet-level congestion-control algorithm."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.cwnd_pkts: float = 10.0
+        self.pacing_rate_pps: float = math.inf
+
+    @abc.abstractmethod
+    def on_ack(self, sample: AckSample) -> None:
+        """Process an acknowledgement."""
+
+    @abc.abstractmethod
+    def on_loss(self, event: LossEvent) -> None:
+        """Process detected packet loss."""
+
+    def on_timeout(self, now: float) -> None:
+        """Process a retransmission timeout (default: collapse the window)."""
+        self.cwnd_pkts = 1.0
+
+    def window_limit(self) -> float:
+        """Effective congestion window in packets (never below one packet)."""
+        return max(1.0, self.cwnd_pkts)
+
+    def pacing_interval(self) -> float:
+        """Seconds between packet transmissions (0 when unpaced)."""
+        if math.isinf(self.pacing_rate_pps) or self.pacing_rate_pps <= 0:
+            return 0.0
+        return 1.0 / self.pacing_rate_pps

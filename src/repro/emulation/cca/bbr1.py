@@ -1,0 +1,186 @@
+"""Packet-level BBRv1 (Cardwell et al., 2016), simplified but structurally faithful.
+
+The implementation follows the published state machine:
+
+* **STARTUP**: pacing/cwnd gain 2.885 until the bandwidth estimate stops
+  growing by at least 25 % for three consecutive round trips ("full pipe").
+* **DRAIN**: inverse gain until the inflight falls to the estimated BDP.
+* **PROBE_BW**: the eight-phase gain cycle (5/4, 3/4, 1, 1, 1, 1, 1, 1),
+  each phase lasting one RTprop, starting at a random phase.
+* **PROBE_RTT**: every 10 s without a new minimum-RTT sample, the window is
+  cut to four packets for 200 ms.
+
+Estimators: a windowed-max filter over the last ten round trips for the
+bottleneck bandwidth, and a windowed-min over ten seconds for RTprop —
+exactly the two quantities the paper's fluid model tracks as ``x_btl`` and
+``tau_min``.  BBRv1 ignores packet loss entirely.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from .base import AckSample, LossEvent, PacketCCA
+
+STARTUP_GAIN: float = 2.885
+DRAIN_GAIN: float = 1.0 / STARTUP_GAIN
+PROBE_BW_GAINS: tuple[float, ...] = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+CWND_GAIN: float = 2.0
+PROBE_RTT_CWND_PKTS: float = 4.0
+PROBE_RTT_DURATION_S: float = 0.2
+PROBE_RTT_INTERVAL_S: float = 10.0
+BW_WINDOW_ROUNDS: int = 10
+FULL_BW_THRESHOLD: float = 1.25
+FULL_BW_ROUNDS: int = 3
+MIN_CWND_PKTS: float = 4.0
+
+
+class Bbr1Packet(PacketCCA):
+    """Packet-level BBRv1."""
+
+    name = "bbr1"
+
+    def __init__(self, rng: random.Random | None = None, initial_rate_pps: float = 1000.0) -> None:
+        super().__init__()
+        if initial_rate_pps <= 0:
+            raise ValueError("initial rate must be positive")
+        self._rng = rng or random.Random(0)
+        self.state = "startup"
+        self.btlbw_pps = initial_rate_pps
+        self.rtprop_s = 0.1
+        self._rtprop_stamp = 0.0
+        self._rtprop_valid = False
+        self._bw_samples: deque[tuple[int, float]] = deque()
+        self._round = 0
+        self._delivered = 0
+        self._next_round_delivered = 0
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._cycle_index = self._rng.randrange(len(PROBE_BW_GAINS))
+        if PROBE_BW_GAINS[self._cycle_index] == 0.75:
+            self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+        self._cycle_stamp = 0.0
+        self._probe_rtt_done_stamp: float | None = None
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+        self.cwnd_pkts = 10.0
+        self.pacing_rate_pps = initial_rate_pps * STARTUP_GAIN
+
+    # ------------------------------------------------------------------ #
+    # Estimators
+    # ------------------------------------------------------------------ #
+
+    def bdp_pkts(self) -> float:
+        """Current bandwidth-delay-product estimate in packets."""
+        return self.btlbw_pps * self.rtprop_s
+
+    def _update_round(self, sample: AckSample) -> bool:
+        self._delivered += sample.newly_delivered
+        if self._delivered >= self._next_round_delivered:
+            self._round += 1
+            self._next_round_delivered = self._delivered + sample.inflight + 1
+            return True
+        return False
+
+    def _update_btlbw(self, sample: AckSample) -> None:
+        if sample.delivery_rate <= 0:
+            return
+        self._bw_samples.append((self._round, sample.delivery_rate))
+        horizon = self._round - BW_WINDOW_ROUNDS
+        while self._bw_samples and self._bw_samples[0][0] < horizon:
+            self._bw_samples.popleft()
+        self.btlbw_pps = max(rate for _, rate in self._bw_samples)
+
+    def _update_rtprop(self, sample: AckSample) -> None:
+        if not self._rtprop_valid or sample.rtt <= self.rtprop_s:
+            self.rtprop_s = sample.rtt
+            self._rtprop_stamp = sample.now
+            self._rtprop_valid = True
+
+    # ------------------------------------------------------------------ #
+    # State machine
+    # ------------------------------------------------------------------ #
+
+    def _check_full_pipe(self, round_start: bool) -> None:
+        if not round_start or self.state != "startup":
+            return
+        if self.btlbw_pps >= self._full_bw * FULL_BW_THRESHOLD:
+            self._full_bw = self.btlbw_pps
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= FULL_BW_ROUNDS:
+            self.state = "drain"
+
+    def _advance_cycle(self, sample: AckSample) -> None:
+        if sample.now - self._cycle_stamp > self.rtprop_s:
+            self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+            self._cycle_stamp = sample.now
+
+    def _maybe_enter_probe_rtt(self, sample: AckSample) -> None:
+        if self.state == "probe_rtt":
+            if self._probe_rtt_done_stamp is None:
+                self._probe_rtt_done_stamp = sample.now + PROBE_RTT_DURATION_S
+            elif sample.now >= self._probe_rtt_done_stamp:
+                self._rtprop_stamp = sample.now
+                self._probe_rtt_done_stamp = None
+                self.state = "probe_bw"
+                self._cycle_stamp = sample.now
+            return
+        if (
+            self._rtprop_valid
+            and sample.now - self._rtprop_stamp > PROBE_RTT_INTERVAL_S
+            and self.state in ("probe_bw", "startup")
+        ):
+            self.state = "probe_rtt"
+            self._probe_rtt_done_stamp = None
+
+    def _apply_state(self, sample: AckSample) -> None:
+        if self.state == "startup":
+            self.pacing_gain = STARTUP_GAIN
+            self.cwnd_gain = STARTUP_GAIN
+        elif self.state == "drain":
+            self.pacing_gain = DRAIN_GAIN
+            self.cwnd_gain = STARTUP_GAIN
+            if sample.inflight <= self.bdp_pkts():
+                self.state = "probe_bw"
+                self._cycle_stamp = sample.now
+        if self.state == "probe_bw":
+            self._advance_cycle(sample)
+            self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+            self.cwnd_gain = CWND_GAIN
+        if self.state == "probe_rtt":
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+
+    def _set_controls(self) -> None:
+        self.pacing_rate_pps = max(1.0, self.pacing_gain * self.btlbw_pps)
+        if self.state == "probe_rtt":
+            self.cwnd_pkts = PROBE_RTT_CWND_PKTS
+        else:
+            self.cwnd_pkts = max(MIN_CWND_PKTS, self.cwnd_gain * self.bdp_pkts())
+
+    # ------------------------------------------------------------------ #
+    # Callbacks
+    # ------------------------------------------------------------------ #
+
+    def on_ack(self, sample: AckSample) -> None:
+        round_start = self._update_round(sample)
+        self._update_btlbw(sample)
+        self._update_rtprop(sample)
+        self._check_full_pipe(round_start)
+        self._maybe_enter_probe_rtt(sample)
+        self._apply_state(sample)
+        self._set_controls()
+
+    def on_loss(self, event: LossEvent) -> None:
+        # BBRv1 deliberately ignores packet loss.
+        return
+
+    def on_timeout(self, now: float) -> None:
+        # Conservative reaction: restart the estimator windows but keep the
+        # model-based controls (BBRv1 has no loss-based window collapse).
+        self._bw_samples.clear()
+        self.btlbw_pps = max(1.0, self.btlbw_pps / 2.0)
+        self._set_controls()

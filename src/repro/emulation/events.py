@@ -1,0 +1,61 @@
+"""Discrete-event simulation core of the packet-level emulator.
+
+The emulator replaces the paper's mininet/OvS/iPerf testbed (see DESIGN.md):
+it provides packet-granular ground truth that the fluid-model predictions
+are validated against.  The core is a conventional event queue: callbacks
+scheduled at absolute times, executed in time order with a monotonically
+increasing clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def run(self, until: float) -> None:
+        """Execute events in order until time ``until`` or until stopped."""
+        if until < self._now:
+            raise ValueError("end time lies in the past")
+        while self._heap and not self._stopped:
+            time, _, callback = self._heap[0]
+            if time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            callback()
+        self._now = max(self._now, until) if not self._stopped else self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,90 @@
+"""Bottleneck link of the emulator: a packet queue plus a serialising transmitter.
+
+The dumbbell's access links are never saturated (Fig. 3), so they are pure
+propagation delays handled by the sender/receiver scheduling; only the
+shared bottleneck link owns a queue and a transmitter that serialises
+packets at the configured capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .events import EventQueue
+from .packet import Packet
+from .queues import PacketQueue
+
+
+class BottleneckLink:
+    """A store-and-forward link: finite queue, fixed service rate, fixed delay."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        queue: PacketQueue,
+        capacity_pps: float,
+        delay_s: float,
+        deliver: Callable[[Packet], None],
+    ) -> None:
+        if capacity_pps <= 0:
+            raise ValueError("capacity must be positive")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self.events = events
+        self.queue = queue
+        self.capacity_pps = capacity_pps
+        self.delay_s = delay_s
+        self.deliver = deliver
+        self._busy = False
+        self.transmitted = 0
+        # Time-weighted queue statistics for the trace.
+        self._last_sample_time = 0.0
+        self._queue_time_product = 0.0
+
+    @property
+    def service_time(self) -> float:
+        """Transmission time of one packet."""
+        return 1.0 / self.capacity_pps
+
+    def _account_queue(self) -> None:
+        now = self.events.now
+        self._queue_time_product += self.queue.occupancy * (now - self._last_sample_time)
+        self._last_sample_time = now
+
+    def mean_queue_since(self, since_product: float, since_time: float) -> float:
+        """Mean queue length (packets) since a recorded checkpoint."""
+        self._account_queue()
+        elapsed = self._last_sample_time - since_time
+        if elapsed <= 0:
+            return float(self.queue.occupancy)
+        return (self._queue_time_product - since_product) / elapsed
+
+    def checkpoint(self) -> tuple[float, float]:
+        """Snapshot for :meth:`mean_queue_since` (product, time)."""
+        self._account_queue()
+        return self._queue_time_product, self._last_sample_time
+
+    def on_arrival(self, packet: Packet) -> None:
+        """A packet arrives from an access link and is offered to the queue."""
+        self._account_queue()
+        accepted = self.queue.offer(packet)
+        if accepted and not self._busy:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self._busy = False
+            return
+        self._account_queue()
+        self._busy = True
+        self.events.schedule(self.service_time, lambda p=packet: self._finish_transmission(p))
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.transmitted += 1
+        self.events.schedule(self.delay_s, lambda p=packet: self.deliver(p))
+        self._account_queue()
+        if self.queue.occupancy > 0:
+            self._start_transmission()
+        else:
+            self._busy = False

@@ -1,0 +1,206 @@
+"""Sender and receiver endpoints of the packet-level emulator.
+
+A :class:`Sender` models an iPerf-like greedy source: it always has data to
+send and is limited only by its congestion window and pacing rate.  The
+destination host acknowledges every packet individually (SACK-style), so the
+sender detects a loss as soon as a later-sent packet is acknowledged — the
+network is FIFO, hence any still-unacknowledged packet that was sent before
+an acknowledged one must have been dropped.  Lost packets are not
+retransmitted (the throughput metrics of the paper measure delivered
+traffic; retransmissions would only re-label which packets carry it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .cca.base import AckSample, LossEvent, PacketCCA
+from .events import EventQueue
+from .link import BottleneckLink
+from .packet import Packet
+
+#: Minimum retransmission timeout, mirroring common kernel defaults.
+MIN_RTO_S: float = 0.2
+#: Periodic interval at which the sender checks for a stalled connection.
+TIMEOUT_CHECK_INTERVAL_S: float = 0.1
+
+
+class Sender:
+    """A greedy traffic source controlled by a packet-level CCA."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        flow_id: int,
+        cca: PacketCCA,
+        bottleneck: BottleneckLink,
+        access_delay_s: float,
+        return_delay_s: float,
+        mss_bytes: int,
+        start_time_s: float = 0.0,
+    ) -> None:
+        if access_delay_s < 0 or return_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        self.events = events
+        self.flow_id = flow_id
+        self.cca = cca
+        self.bottleneck = bottleneck
+        self.access_delay_s = access_delay_s
+        self.return_delay_s = return_delay_s
+        self.mss_bytes = mss_bytes
+        self.start_time_s = start_time_s
+
+        self.next_seq = 0
+        self.inflight: dict[int, Packet] = {}
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.lost_count = 0
+        self.last_rtt_s = 0.0
+        self.srtt_s: float | None = None
+        self._next_send_time = start_time_s
+        self._wakeup_pending = False
+        self._last_ack_time = start_time_s
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Schedule the first transmission and the stall watchdog."""
+        if self._started:
+            return
+        self._started = True
+        self.events.schedule_at(self.start_time_s, self._try_send)
+        self.events.schedule_at(
+            self.start_time_s + TIMEOUT_CHECK_INTERVAL_S, self._check_timeout
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transmission path
+    # ------------------------------------------------------------------ #
+
+    def _rto(self) -> float:
+        if self.srtt_s is None:
+            return 1.0
+        return max(MIN_RTO_S, 4.0 * self.srtt_s)
+
+    def _pacing_wakeup(self) -> None:
+        self._wakeup_pending = False
+        self._try_send()
+
+    def _try_send(self) -> None:
+        now = self.events.now
+        window = self.cca.window_limit()
+        interval = self.cca.pacing_interval()
+        while len(self.inflight) < window:
+            if now < self._next_send_time:
+                break
+            self._transmit(now)
+            self._next_send_time = max(self._next_send_time, now) + interval
+        if (
+            len(self.inflight) < window
+            and now < self._next_send_time
+            and not self._wakeup_pending
+        ):
+            # Pacing-limited: wake up when the next transmission is allowed.
+            # The pending flag is cleared only by the wakeup itself so that
+            # ACK-triggered calls never pile up duplicate wakeup events.
+            self._wakeup_pending = True
+            self.events.schedule_at(self._next_send_time, self._pacing_wakeup)
+
+    def _transmit(self, now: float) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self.next_seq,
+            size_bytes=self.mss_bytes,
+            sent_time=now,
+            delivered_at_send=self.delivered_count,
+        )
+        self.next_seq += 1
+        self.sent_count += 1
+        self.inflight[packet.seq] = packet
+        self.events.schedule(
+            self.access_delay_s, lambda p=packet: self.bottleneck.on_arrival(p)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Acknowledgement path
+    # ------------------------------------------------------------------ #
+
+    def on_packet_delivered(self, packet: Packet) -> None:
+        """Called by the topology when a packet reaches the destination host."""
+        self.events.schedule(self.return_delay_s, lambda p=packet: self._on_ack(p))
+
+    def _on_ack(self, packet: Packet) -> None:
+        now = self.events.now
+        self._last_ack_time = now
+        if packet.seq not in self.inflight:
+            return  # e.g. already declared lost by the watchdog
+        del self.inflight[packet.seq]
+        self.delivered_count += 1
+
+        # FIFO network: every unacknowledged packet sent before this one is lost.
+        lost_seqs = tuple(seq for seq in self.inflight if seq < packet.seq)
+        rtt = now - packet.sent_time
+        self.last_rtt_s = rtt
+        self.srtt_s = rtt if self.srtt_s is None else 0.875 * self.srtt_s + 0.125 * rtt
+        elapsed = max(now - packet.sent_time, 1e-9)
+        delivery_rate = (self.delivered_count - packet.delivered_at_send) / elapsed
+
+        if lost_seqs:
+            for seq in lost_seqs:
+                del self.inflight[seq]
+            self.lost_count += len(lost_seqs)
+            self.cca.on_loss(
+                LossEvent(
+                    now=now,
+                    num_lost=len(lost_seqs),
+                    inflight=len(self.inflight),
+                    highest_seq_sent=self.next_seq - 1,
+                    lost_seqs=lost_seqs,
+                )
+            )
+        self.cca.on_ack(
+            AckSample(
+                now=now,
+                rtt=rtt,
+                delivery_rate=delivery_rate,
+                inflight=len(self.inflight),
+                acked_seq=packet.seq,
+                newly_delivered=1,
+            )
+        )
+        self._try_send()
+
+    # ------------------------------------------------------------------ #
+    # Stall watchdog (retransmission timeout)
+    # ------------------------------------------------------------------ #
+
+    def _check_timeout(self) -> None:
+        now = self.events.now
+        if self.inflight and now - self._last_ack_time > self._rto():
+            self.lost_count += len(self.inflight)
+            self.inflight.clear()
+            self.cca.on_timeout(now)
+            self._last_ack_time = now
+            self._try_send()
+        self.events.schedule(TIMEOUT_CHECK_INTERVAL_S, self._check_timeout)
+
+
+class Destination:
+    """The shared destination host: routes delivered packets back to their sender."""
+
+    def __init__(self, senders: dict[int, Sender]) -> None:
+        self._senders = senders
+
+    def deliver(self, packet: Packet) -> None:
+        sender = self._senders.get(packet.flow_id)
+        if sender is None:
+            raise KeyError(f"packet for unknown flow {packet.flow_id}")
+        sender.on_packet_delivered(packet)
+
+
+def make_deliver_callback(senders: dict[int, Sender]) -> Callable[[Packet], None]:
+    """Convenience wrapper returning the destination's delivery callback."""
+    return Destination(senders).deliver

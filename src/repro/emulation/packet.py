@@ -1,0 +1,49 @@
+"""Packet and acknowledgement records used by the emulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Packet:
+    """A data packet travelling from a sender to the destination.
+
+    Attributes:
+        flow_id: index of the sending flow.
+        seq: per-flow sequence number.
+        size_bytes: packet size (one MSS for all data packets).
+        sent_time: time the packet left the sender.
+        delivered_at_send: cumulative number of packets the sender had seen
+            acknowledged when this packet was sent.  Used by the BBR
+            delivery-rate sampler (one sample per ACK).
+        app_limited: whether the sender was application-limited when the
+            packet was sent (never the case for the iPerf-like greedy
+            sources used here, kept for completeness).
+    """
+
+    flow_id: int
+    seq: int
+    size_bytes: int
+    sent_time: float
+    delivered_at_send: int = 0
+    app_limited: bool = False
+
+
+@dataclass
+class Ack:
+    """An acknowledgement for a single data packet (SACK-style, per packet).
+
+    Attributes:
+        flow_id: index of the acknowledged flow.
+        seq: sequence number of the acknowledged packet.
+        packet_sent_time: when the acknowledged packet was sent.
+        delivered_at_send: delivery counter snapshot carried by the packet.
+        recv_time: when the destination received the packet.
+    """
+
+    flow_id: int
+    seq: int
+    packet_sent_time: float
+    delivered_at_send: int
+    recv_time: float

@@ -1,0 +1,126 @@
+"""Packet queues of the emulator: drop-tail and RED.
+
+These implement the per-packet counterparts of the fluid model's loss
+equations (Eq. 4 and Eq. 6).  The RED queue uses the classic exponentially
+weighted moving average of the queue length, which is precisely the
+behaviour the paper identifies as the source of the fluid model's RED
+idealisation error (Insight 9).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from .packet import Packet
+
+
+class PacketQueue:
+    """Base class of a finite packet queue with drop accounting."""
+
+    def __init__(self, capacity_pkts: int) -> None:
+        if capacity_pkts < 1:
+            raise ValueError("queue capacity must be at least one packet")
+        self.capacity_pkts = capacity_pkts
+        self._queue: deque[Packet] = deque()
+        self.dropped = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> int:
+        """Current queue length in packets."""
+        return len(self._queue)
+
+    def offer(self, packet: Packet) -> bool:
+        """Try to enqueue a packet; returns False (and counts a drop) if dropped."""
+        raise NotImplementedError
+
+    def pop(self) -> Packet | None:
+        """Dequeue the head-of-line packet, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def _accept(self, packet: Packet) -> bool:
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True
+
+    def _drop(self) -> bool:
+        self.dropped += 1
+        return False
+
+
+class DropTailQueue(PacketQueue):
+    """FIFO queue that drops arrivals when full."""
+
+    def offer(self, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity_pkts:
+            return self._drop()
+        return self._accept(packet)
+
+
+class RedQueue(PacketQueue):
+    """Random Early Detection queue.
+
+    The drop probability grows linearly from 0 at ``min_threshold`` to
+    ``max_probability`` at ``max_threshold`` of the *averaged* queue length,
+    and everything above ``max_threshold`` is dropped.  Thresholds default to
+    the whole buffer range so that the steady-state drop probability tracks
+    ``q_avg / B`` — the idealisation the fluid model uses (Eq. 6) — while the
+    averaging introduces the lag the paper discusses.
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        rng: random.Random,
+        min_threshold_fraction: float = 0.0,
+        max_threshold_fraction: float = 1.0,
+        max_probability: float = 1.0,
+        ewma_weight: float = 0.002,
+    ) -> None:
+        super().__init__(capacity_pkts)
+        if not 0 <= min_threshold_fraction < max_threshold_fraction <= 1.0:
+            raise ValueError("RED thresholds must satisfy 0 <= min < max <= 1")
+        if not 0 < max_probability <= 1.0:
+            raise ValueError("max drop probability must be in (0, 1]")
+        if not 0 < ewma_weight <= 1.0:
+            raise ValueError("EWMA weight must be in (0, 1]")
+        self._rng = rng
+        self.min_threshold = min_threshold_fraction * capacity_pkts
+        self.max_threshold = max_threshold_fraction * capacity_pkts
+        self.max_probability = max_probability
+        self.ewma_weight = ewma_weight
+        self.avg_queue = 0.0
+
+    def drop_probability(self) -> float:
+        """Current RED drop probability based on the averaged queue length."""
+        if self.avg_queue <= self.min_threshold:
+            return 0.0
+        if self.avg_queue >= self.max_threshold:
+            return 1.0
+        span = self.max_threshold - self.min_threshold
+        return self.max_probability * (self.avg_queue - self.min_threshold) / span
+
+    def offer(self, packet: Packet) -> bool:
+        self.avg_queue = (
+            (1.0 - self.ewma_weight) * self.avg_queue + self.ewma_weight * len(self._queue)
+        )
+        if len(self._queue) >= self.capacity_pkts:
+            return self._drop()
+        if self._rng.random() < self.drop_probability():
+            return self._drop()
+        return self._accept(packet)
+
+
+def make_queue(discipline: str, capacity_pkts: int, rng: random.Random) -> PacketQueue:
+    """Factory for the queue discipline named in a scenario configuration."""
+    if discipline == "droptail":
+        return DropTailQueue(capacity_pkts)
+    if discipline == "red":
+        return RedQueue(capacity_pkts, rng)
+    raise ValueError(f"unknown queue discipline {discipline!r}")

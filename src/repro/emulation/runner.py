@@ -1,0 +1,183 @@
+"""Scenario runner of the packet-level emulator.
+
+Builds the dumbbell topology of a :class:`~repro.config.ScenarioConfig`,
+runs the discrete-event simulation, and samples the same
+:class:`~repro.metrics.traces.Trace` structure the fluid model produces, so
+that every metric of the paper's evaluation can be computed from either
+substrate interchangeably (this emulator plays the role of the paper's
+mininet experiments, cf. DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import units
+from ..config import ScenarioConfig
+from ..metrics.traces import FlowTrace, LinkTrace, Trace
+from .cca import create_packet_cca
+from .events import EventQueue
+from .link import BottleneckLink
+from .nodes import Destination, Sender
+from .queues import make_queue
+
+
+@dataclass
+class _FlowSamples:
+    """Accumulators for one flow's trace samples."""
+
+    rate: list[float] = field(default_factory=list)
+    delivery: list[float] = field(default_factory=list)
+    cwnd: list[float] = field(default_factory=list)
+    inflight: list[float] = field(default_factory=list)
+    rtt: list[float] = field(default_factory=list)
+    prev_sent: int = 0
+    prev_delivered: int = 0
+
+
+class EmulationRunner:
+    """Runs one scenario on the packet-level emulator."""
+
+    def __init__(self, config: ScenarioConfig, record_interval_s: float = 0.01) -> None:
+        if record_interval_s <= 0:
+            raise ValueError("record interval must be positive")
+        self.config = config
+        self.record_interval_s = record_interval_s
+        self.rng = random.Random(config.seed)
+        self.events = EventQueue()
+
+        capacity_pps = config.bottleneck.capacity_pps
+        buffer_pkts = config.buffer_packets()
+        if math.isinf(buffer_pkts):
+            buffer_pkts = 100.0 * config.bottleneck_bdp_packets()
+        queue = make_queue(
+            config.bottleneck.discipline, max(1, int(round(buffer_pkts))), self.rng
+        )
+
+        self.senders: dict[int, Sender] = {}
+        destination = Destination(self.senders)
+        self.bottleneck = BottleneckLink(
+            events=self.events,
+            queue=queue,
+            capacity_pps=capacity_pps,
+            delay_s=config.bottleneck.delay_s,
+            deliver=destination.deliver,
+        )
+        for i, flow_cfg in enumerate(config.flows):
+            cca = create_packet_cca(
+                flow_cfg.cca,
+                rng=random.Random(config.seed + 17 * (i + 1)),
+                initial_rate_pps=capacity_pps / config.num_flows,
+            )
+            self.senders[i] = Sender(
+                events=self.events,
+                flow_id=i,
+                cca=cca,
+                bottleneck=self.bottleneck,
+                access_delay_s=flow_cfg.access_delay_s,
+                return_delay_s=flow_cfg.access_delay_s + config.bottleneck.delay_s,
+                mss_bytes=units.MSS_BYTES,
+                start_time_s=flow_cfg.start_time_s,
+            )
+
+        # Sampling state.
+        self._times: list[float] = []
+        self._flow_samples = [_FlowSamples() for _ in config.flows]
+        self._queue_samples: list[float] = []
+        self._loss_samples: list[float] = []
+        self._arrival_samples: list[float] = []
+        self._departure_samples: list[float] = []
+        self._prev_enqueued = 0
+        self._prev_dropped = 0
+        self._prev_transmitted = 0
+        self._queue_checkpoint = (0.0, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def _sample(self) -> None:
+        now = self.events.now
+        interval = self.record_interval_s
+        self._times.append(now)
+        for i, sender in self.senders.items():
+            samples = self._flow_samples[i]
+            sent_delta = sender.sent_count - samples.prev_sent
+            delivered_delta = sender.delivered_count - samples.prev_delivered
+            samples.prev_sent = sender.sent_count
+            samples.prev_delivered = sender.delivered_count
+            samples.rate.append(sent_delta / interval)
+            samples.delivery.append(delivered_delta / interval)
+            samples.cwnd.append(sender.cca.window_limit())
+            samples.inflight.append(float(len(sender.inflight)))
+            samples.rtt.append(
+                sender.last_rtt_s
+                if sender.last_rtt_s > 0
+                else 2.0 * (sender.access_delay_s + self.config.bottleneck.delay_s)
+            )
+        queue = self.bottleneck.queue
+        arrivals = (queue.enqueued + queue.dropped) - (
+            self._prev_enqueued + self._prev_dropped
+        )
+        drops = queue.dropped - self._prev_dropped
+        transmitted = self.bottleneck.transmitted - self._prev_transmitted
+        self._prev_enqueued = queue.enqueued
+        self._prev_dropped = queue.dropped
+        self._prev_transmitted = self.bottleneck.transmitted
+        mean_queue = self.bottleneck.mean_queue_since(*self._queue_checkpoint)
+        self._queue_checkpoint = self.bottleneck.checkpoint()
+        self._queue_samples.append(mean_queue)
+        self._loss_samples.append(drops / arrivals if arrivals > 0 else 0.0)
+        self._arrival_samples.append(arrivals / interval)
+        self._departure_samples.append(transmitted / interval)
+        self.events.schedule(interval, self._sample)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> Trace:
+        """Run the emulation for the configured duration and return its trace."""
+        for sender in self.senders.values():
+            sender.start()
+        self.events.schedule(self.record_interval_s, self._sample)
+        self.events.run(until=self.config.duration_s)
+        return self._build_trace()
+
+    def _build_trace(self) -> Trace:
+        time = np.asarray(self._times, dtype=float)
+        flows = []
+        for i, flow_cfg in enumerate(self.config.flows):
+            samples = self._flow_samples[i]
+            flows.append(
+                FlowTrace(
+                    cca=flow_cfg.cca,
+                    rate=np.asarray(samples.rate),
+                    delivery_rate=np.asarray(samples.delivery),
+                    cwnd=np.asarray(samples.cwnd),
+                    inflight=np.asarray(samples.inflight),
+                    rtt=np.asarray(samples.rtt),
+                )
+            )
+        buffer_pkts = float(self.bottleneck.queue.capacity_pkts)
+        links = [
+            LinkTrace(
+                name="bottleneck",
+                capacity_pps=self.bottleneck.capacity_pps,
+                buffer_pkts=buffer_pkts,
+                queue=np.asarray(self._queue_samples),
+                loss_prob=np.asarray(self._loss_samples),
+                arrival_rate=np.asarray(self._arrival_samples),
+                departure_rate=np.asarray(self._departure_samples),
+            )
+        ]
+        return Trace(time=time, flows=flows, links=links, substrate="emulation")
+
+
+def emulate(config: ScenarioConfig, record_interval_s: float = 0.01) -> Trace:
+    """Convenience wrapper: build an :class:`EmulationRunner` and run it."""
+    return EmulationRunner(config, record_interval_s=record_interval_s).run()

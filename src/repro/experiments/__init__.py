@@ -1,0 +1,29 @@
+"""Reproduction harness: canonical scenarios, sweeps, and per-figure regeneration."""
+
+from . import figures, report, scenarios, sweep
+from .scenarios import (
+    BUFFER_SWEEP_BDP,
+    CCA_MIXES,
+    DISCIPLINES,
+    aggregate_scenario,
+    competition_scenario,
+    trace_validation_scenario,
+)
+from .sweep import SweepPoint, run_point, run_sweep, series
+
+__all__ = [
+    "figures",
+    "report",
+    "scenarios",
+    "sweep",
+    "BUFFER_SWEEP_BDP",
+    "CCA_MIXES",
+    "DISCIPLINES",
+    "aggregate_scenario",
+    "competition_scenario",
+    "trace_validation_scenario",
+    "SweepPoint",
+    "run_point",
+    "run_sweep",
+    "series",
+]

@@ -1,0 +1,122 @@
+"""Canonical scenarios of the paper's evaluation (Section 4.1).
+
+Two families of scenarios are used throughout the paper:
+
+* **Trace validation** (Figs. 1, 2, 4, 5, 11, 12): a single sender (or one
+  sender per CCA) on a 100 Mbps bottleneck with 10 ms propagation delay, a
+  5.6 ms access link and a 1 BDP buffer.
+* **Aggregate validation** (Figs. 6-10 and 13-17): N = 10 senders, 100 Mbps,
+  bottleneck delay 10 ms (5 ms for the short-RTT appendix), total RTTs spread
+  over 30-40 ms (10-20 ms), buffer sizes swept from 1 to 7 BDP, drop-tail and
+  RED queueing, and seven CCA mixes (four homogeneous, three heterogeneous
+  pairings with five senders each).
+"""
+
+from __future__ import annotations
+
+from ..config import FluidParams, ScenarioConfig, dumbbell_scenario
+
+#: The seven CCA mixes of Figs. 6-10 (keys are the paper's legend labels).
+CCA_MIXES: dict[str, tuple[str, ...]] = {
+    "BBRv1": ("bbr1",) * 10,
+    "BBRv1/BBRv2": ("bbr1",) * 5 + ("bbr2",) * 5,
+    "BBRv1/CUBIC": ("bbr1",) * 5 + ("cubic",) * 5,
+    "BBRv1/RENO": ("bbr1",) * 5 + ("reno",) * 5,
+    "BBRv2": ("bbr2",) * 10,
+    "BBRv2/CUBIC": ("bbr2",) * 5 + ("cubic",) * 5,
+    "BBRv2/RENO": ("bbr2",) * 5 + ("reno",) * 5,
+}
+
+#: Buffer sizes (in BDP) swept by the aggregate validation figures.
+BUFFER_SWEEP_BDP: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+
+#: Queue disciplines compared throughout the evaluation.
+DISCIPLINES: tuple[str, ...] = ("droptail", "red")
+
+#: Default integration step used for the aggregate sweeps (coarser than the
+#: trace-validation default; the aggregate metrics are insensitive to it).
+SWEEP_DT: float = 2.5e-4
+
+
+def trace_validation_scenario(
+    cca: str,
+    discipline: str = "droptail",
+    duration_s: float = 30.0,
+    buffer_bdp: float = 1.0,
+    dt: float = 1e-4,
+) -> ScenarioConfig:
+    """Single-flow trace-validation scenario of Section 4.2 (Figs. 4, 5, 11, 12).
+
+    One sender, 100 Mbps bottleneck with 10 ms delay, 5.6 ms access link
+    (i.e. a 31.2 ms propagation RTT) and a 1 BDP drop-tail or RED buffer.
+    """
+    return dumbbell_scenario(
+        [cca],
+        capacity_mbps=100.0,
+        bottleneck_delay_s=0.010,
+        rtt_range_s=(0.0312, 0.0312),
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        duration_s=duration_s,
+        fluid=FluidParams(dt=dt),
+    )
+
+
+def competition_scenario(
+    ccas: tuple[str, str] = ("reno", "bbr1"),
+    discipline: str = "droptail",
+    duration_s: float = 10.0,
+    buffer_bdp: float = 1.0,
+    dt: float = 1e-4,
+) -> ScenarioConfig:
+    """Two-flow competition scenario of Fig. 1 (one Reno flow vs. one BBRv1 flow)."""
+    return dumbbell_scenario(
+        list(ccas),
+        capacity_mbps=100.0,
+        bottleneck_delay_s=0.010,
+        rtt_range_s=(0.030, 0.034),
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        duration_s=duration_s,
+        fluid=FluidParams(dt=dt),
+    )
+
+
+def aggregate_scenario(
+    mix: str,
+    buffer_bdp: float,
+    discipline: str,
+    short_rtt: bool = False,
+    duration_s: float = 5.0,
+    dt: float = SWEEP_DT,
+    whi_init_bdp: float | None = None,
+) -> ScenarioConfig:
+    """Aggregate-validation scenario of Section 4.3 (Figs. 6-10) / Appendix C.
+
+    ``mix`` is one of the :data:`CCA_MIXES` keys.  ``short_rtt`` selects the
+    Appendix C variant (5 ms bottleneck delay, 10-20 ms RTTs).  The per-flow
+    loss-based initial window is set to the fair-share BDP so that the
+    (unmodelled) slow-start phase does not dominate the 5-second average.
+    """
+    if mix not in CCA_MIXES:
+        raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
+    ccas = CCA_MIXES[mix]
+    bottleneck_delay = 0.005 if short_rtt else 0.010
+    rtt_range = (0.010, 0.020) if short_rtt else (0.030, 0.040)
+    mean_rtt = sum(rtt_range) / 2.0
+    fair_share_pkts = 100.0e6 / (1500 * 8) * mean_rtt / len(ccas)
+    fluid = FluidParams(
+        dt=dt,
+        loss_based_init_window_pkts=max(10.0, fair_share_pkts),
+        whi_init_bdp=whi_init_bdp,
+    )
+    return dumbbell_scenario(
+        ccas,
+        capacity_mbps=100.0,
+        bottleneck_delay_s=bottleneck_delay,
+        rtt_range_s=rtt_range,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        duration_s=duration_s,
+        fluid=fluid,
+    )

@@ -1,0 +1,134 @@
+"""Parameter-sweep engine for the aggregate-validation figures (Figs. 6-10, 13-17).
+
+A sweep runs every combination of CCA mix, buffer size and queue discipline
+on a chosen substrate ("fluid" or "emulation"), computes the aggregate
+metrics of :mod:`repro.metrics.aggregate`, and returns tidy rows.  Because
+the five aggregate figures of the paper all derive from the *same* runs,
+sweep results are cached in-process keyed by their configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.simulator import simulate
+from ..emulation.runner import emulate
+from ..metrics.aggregate import AggregateMetrics, aggregate_metrics
+from . import scenarios
+
+SUBSTRATES = ("fluid", "emulation")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (mix, buffer, discipline, substrate) result of a sweep."""
+
+    mix: str
+    buffer_bdp: float
+    discipline: str
+    substrate: str
+    metrics: AggregateMetrics
+
+    def row(self) -> dict[str, float | str]:
+        """Flatten into a CSV-friendly dictionary."""
+        out: dict[str, float | str] = {
+            "mix": self.mix,
+            "buffer_bdp": self.buffer_bdp,
+            "discipline": self.discipline,
+            "substrate": self.substrate,
+        }
+        out.update(self.metrics.as_dict())
+        return out
+
+
+_CACHE: dict[tuple, SweepPoint] = {}
+
+
+def clear_cache() -> None:
+    """Drop all cached sweep points (mainly for tests)."""
+    _CACHE.clear()
+
+
+def run_point(
+    mix: str,
+    buffer_bdp: float,
+    discipline: str,
+    substrate: str = "fluid",
+    short_rtt: bool = False,
+    duration_s: float = 5.0,
+    dt: float = scenarios.SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    use_cache: bool = True,
+) -> SweepPoint:
+    """Run (or fetch from cache) a single sweep point."""
+    if substrate not in SUBSTRATES:
+        raise ValueError(f"unknown substrate {substrate!r}")
+    key = (mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    config = scenarios.aggregate_scenario(
+        mix,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        short_rtt=short_rtt,
+        duration_s=duration_s,
+        dt=dt,
+        whi_init_bdp=whi_init_bdp,
+    )
+    trace = simulate(config) if substrate == "fluid" else emulate(config)
+    point = SweepPoint(
+        mix=mix,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        substrate=substrate,
+        metrics=aggregate_metrics(trace),
+    )
+    if use_cache:
+        _CACHE[key] = point
+    return point
+
+
+def run_sweep(
+    mixes: Iterable[str] | None = None,
+    buffers_bdp: Iterable[float] | None = None,
+    disciplines: Iterable[str] | None = None,
+    substrate: str = "fluid",
+    short_rtt: bool = False,
+    duration_s: float = 5.0,
+    dt: float = scenarios.SWEEP_DT,
+    whi_init_bdp: float | None = None,
+) -> list[SweepPoint]:
+    """Run the full (or a reduced) aggregate-validation sweep."""
+    mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
+    buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
+    disciplines = list(disciplines) if disciplines is not None else list(scenarios.DISCIPLINES)
+    points = []
+    for discipline in disciplines:
+        for mix in mixes:
+            for buffer_bdp in buffers:
+                points.append(
+                    run_point(
+                        mix,
+                        buffer_bdp,
+                        discipline,
+                        substrate=substrate,
+                        short_rtt=short_rtt,
+                        duration_s=duration_s,
+                        dt=dt,
+                        whi_init_bdp=whi_init_bdp,
+                    )
+                )
+    return points
+
+
+def series(
+    points: Iterable[SweepPoint], metric: str, mix: str, discipline: str
+) -> list[tuple[float, float]]:
+    """Extract one figure line: (buffer, metric value) for a mix and discipline."""
+    rows = [
+        (p.buffer_bdp, float(p.metrics.as_dict()[metric]))
+        for p in points
+        if p.mix == mix and p.discipline == discipline
+    ]
+    return sorted(rows)

@@ -1,0 +1,28 @@
+"""Trace containers and aggregate performance metrics."""
+
+from .aggregate import (
+    AggregateMetrics,
+    aggregate_metrics,
+    buffer_occupancy_percent,
+    jitter_ms,
+    loss_percent,
+    utilization_percent,
+)
+from .fairness import jain_index, per_cca_share, trace_fairness
+from .traces import FlowTrace, LinkTrace, Trace, resample
+
+__all__ = [
+    "AggregateMetrics",
+    "aggregate_metrics",
+    "buffer_occupancy_percent",
+    "jitter_ms",
+    "loss_percent",
+    "utilization_percent",
+    "jain_index",
+    "per_cca_share",
+    "trace_fairness",
+    "FlowTrace",
+    "LinkTrace",
+    "Trace",
+    "resample",
+]

@@ -1,0 +1,98 @@
+"""Aggregate performance metrics of the paper's evaluation (Figs. 7-10, 14-17).
+
+Every metric takes a :class:`~repro.metrics.traces.Trace` — produced either
+by the fluid model or by the packet-level emulator — so that both substrates
+are evaluated by exactly the same code.
+
+* **loss** (Fig. 7): fraction of traffic arriving at the bottleneck that is
+  dropped, in percent.
+* **buffer occupancy** (Fig. 8): time-average queue length as a share of the
+  buffer, in percent.
+* **utilization** (Fig. 9): time-average bottleneck departure rate as a
+  share of capacity, in percent.
+* **jitter** (Fig. 10): mean absolute RTT difference between consecutive
+  (virtual) packets, in milliseconds.  The fluid model has no packets, so —
+  exactly as the paper does — the RTT series is sampled at the virtual
+  packet rate ``g * N / C`` and the mean absolute difference of consecutive
+  samples is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fairness import trace_fairness
+from .traces import Trace, resample
+
+
+def loss_percent(trace: Trace) -> float:
+    """Bottleneck loss rate in percent of arriving traffic (Fig. 7)."""
+    return 100.0 * trace.bottleneck().loss_fraction()
+
+
+def buffer_occupancy_percent(trace: Trace) -> float:
+    """Mean bottleneck queue occupancy in percent of the buffer (Fig. 8)."""
+    return 100.0 * trace.bottleneck().mean_occupancy()
+
+
+def utilization_percent(trace: Trace) -> float:
+    """Mean bottleneck utilization in percent of capacity (Fig. 9)."""
+    return min(100.0, 100.0 * trace.bottleneck().utilization())
+
+
+def jitter_ms(trace: Trace, packet_size_factor: float = 1.0) -> float:
+    """Mean packet-delay variation in milliseconds (Fig. 10).
+
+    The RTT of each flow is sampled every ``packet_size_factor * N / C``
+    seconds (the virtual inter-packet time of the aggregate) and the mean
+    absolute difference of consecutive samples, averaged over flows, is
+    returned.
+    """
+    if packet_size_factor <= 0:
+        raise ValueError("packet_size_factor must be positive")
+    bottleneck = trace.bottleneck()
+    interval = packet_size_factor * trace.num_flows / bottleneck.capacity_pps
+    if trace.duration <= 2 * interval:
+        return 0.0
+    sample_times = np.arange(trace.time[0], trace.time[-1], interval)
+    jitters = []
+    for flow in trace.flows:
+        rtt = resample(trace.time, flow.rtt, sample_times)
+        if len(rtt) > 1:
+            jitters.append(float(np.mean(np.abs(np.diff(rtt)))))
+    if not jitters:
+        return 0.0
+    return 1000.0 * float(np.mean(jitters))
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """The five aggregate metrics the paper reports for each scenario."""
+
+    jain_fairness: float
+    loss_percent: float
+    buffer_occupancy_percent: float
+    utilization_percent: float
+    jitter_ms: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "jain_fairness": self.jain_fairness,
+            "loss_percent": self.loss_percent,
+            "buffer_occupancy_percent": self.buffer_occupancy_percent,
+            "utilization_percent": self.utilization_percent,
+            "jitter_ms": self.jitter_ms,
+        }
+
+
+def aggregate_metrics(trace: Trace) -> AggregateMetrics:
+    """Compute all aggregate metrics of the paper's Figs. 6-10 for one trace."""
+    return AggregateMetrics(
+        jain_fairness=trace_fairness(trace),
+        loss_percent=loss_percent(trace),
+        buffer_occupancy_percent=buffer_occupancy_percent(trace),
+        utilization_percent=utilization_percent(trace),
+        jitter_ms=jitter_ms(trace),
+    )

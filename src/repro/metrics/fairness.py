@@ -1,0 +1,60 @@
+"""Fairness metrics (Fig. 6 and Fig. 13 of the paper).
+
+The paper reports Jain's fairness index over the per-flow throughputs
+obtained from 5-second traces.  The index is
+
+    J(x_1, ..., x_N) = (sum x_i)^2 / (N * sum x_i^2)
+
+and lies in ``[1/N, 1]``: 1 for a perfectly equal allocation, ``1/N`` when a
+single flow monopolises the bottleneck.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .traces import Trace
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index of a list of non-negative allocations."""
+    values = np.asarray(list(allocations), dtype=float)
+    if values.size == 0:
+        raise ValueError("fairness of an empty allocation is undefined")
+    if np.any(values < 0):
+        raise ValueError("allocations must be non-negative")
+    total = float(np.sum(values))
+    if total == 0:
+        # No flow got anything: conventionally perfectly fair.
+        return 1.0
+    return float(total**2 / (values.size * float(np.sum(values**2))))
+
+
+def trace_fairness(trace: Trace, use_goodput: bool = True) -> float:
+    """Jain fairness of a trace, computed over per-flow mean rates.
+
+    ``use_goodput`` selects the delivery rate (what the paper's iPerf
+    measurements report); otherwise the raw sending rate is used.
+    """
+    if use_goodput:
+        allocations = [flow.mean_goodput() for flow in trace.flows]
+    else:
+        allocations = [flow.mean_rate() for flow in trace.flows]
+    return jain_index(allocations)
+
+
+def per_cca_share(trace: Trace) -> dict[str, float]:
+    """Aggregate goodput share of each CCA present in the trace.
+
+    Useful for inter-CCA fairness statements such as Insight 2 (BBRv1
+    starves loss-based CCAs): the share of e.g. all Reno flows combined.
+    """
+    totals: dict[str, float] = {}
+    for flow in trace.flows:
+        totals[flow.cca] = totals.get(flow.cca, 0.0) + flow.mean_goodput()
+    grand_total = sum(totals.values())
+    if grand_total == 0:
+        return {cca: 0.0 for cca in totals}
+    return {cca: value / grand_total for cca, value in totals.items()}

@@ -1,0 +1,204 @@
+"""Trace containers shared by the fluid model and the packet-level emulator.
+
+Both substrates produce a :class:`Trace`: a common time grid, one
+:class:`FlowTrace` per sender (sending rate, delivery rate, congestion
+window, inflight, RTT, plus model-specific extras) and one
+:class:`LinkTrace` per queued link (queue length, loss probability, arrival
+and departure rates).  All aggregate metrics of the paper's evaluation
+(Figs. 6-10 and 13-17) are computed from these containers, so the fluid
+model and the emulator are compared on exactly the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FlowTrace:
+    """Time series describing one flow.
+
+    All arrays are aligned with the parent :class:`Trace.time` grid.
+    Rates are packets/second; windows and inflight are packets; RTT seconds.
+    """
+
+    cca: str
+    rate: np.ndarray
+    delivery_rate: np.ndarray
+    cwnd: np.ndarray
+    inflight: np.ndarray
+    rtt: np.ndarray
+    extras: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.rate),
+            len(self.delivery_rate),
+            len(self.cwnd),
+            len(self.inflight),
+            len(self.rtt),
+        }
+        if len(lengths) != 1:
+            raise ValueError("flow trace arrays must have equal length")
+
+    def mean_rate(self) -> float:
+        """Time-average sending rate in packets/second."""
+        return float(np.mean(self.rate)) if len(self.rate) else 0.0
+
+    def mean_goodput(self) -> float:
+        """Time-average delivery rate in packets/second."""
+        return float(np.mean(self.delivery_rate)) if len(self.delivery_rate) else 0.0
+
+
+@dataclass
+class LinkTrace:
+    """Time series describing one queued link."""
+
+    name: str
+    capacity_pps: float
+    buffer_pkts: float
+    queue: np.ndarray
+    loss_prob: np.ndarray
+    arrival_rate: np.ndarray
+    departure_rate: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.queue),
+            len(self.loss_prob),
+            len(self.arrival_rate),
+            len(self.departure_rate),
+        }
+        if len(lengths) != 1:
+            raise ValueError("link trace arrays must have equal length")
+        if self.capacity_pps <= 0:
+            raise ValueError("capacity must be positive")
+
+    def mean_occupancy(self) -> float:
+        """Time-average queue occupancy as a fraction of the buffer size."""
+        if not len(self.queue) or not np.isfinite(self.buffer_pkts):
+            return 0.0
+        return float(np.mean(self.queue) / self.buffer_pkts)
+
+    def utilization(self) -> float:
+        """Time-average departure rate as a fraction of capacity."""
+        if not len(self.departure_rate):
+            return 0.0
+        return float(np.mean(self.departure_rate) / self.capacity_pps)
+
+    def loss_fraction(self) -> float:
+        """Fraction of arriving traffic lost at this link."""
+        arrived = float(np.sum(self.arrival_rate))
+        if arrived <= 0:
+            return 0.0
+        lost = float(np.sum(self.arrival_rate * self.loss_prob))
+        return lost / arrived
+
+
+@dataclass
+class Trace:
+    """A full simulation or emulation run."""
+
+    time: np.ndarray
+    flows: list[FlowTrace]
+    links: list[LinkTrace]
+    substrate: str = "fluid"
+
+    def __post_init__(self) -> None:
+        for flow in self.flows:
+            if len(flow.rate) != len(self.time):
+                raise ValueError("flow trace length does not match the time grid")
+        for link in self.links:
+            if len(link.queue) != len(self.time):
+                raise ValueError("link trace length does not match the time grid")
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def duration(self) -> float:
+        return float(self.time[-1] - self.time[0]) if len(self.time) > 1 else 0.0
+
+    @property
+    def dt(self) -> float:
+        """Sampling interval of the trace grid."""
+        if len(self.time) < 2:
+            raise ValueError("trace too short to have a sampling interval")
+        return float(self.time[1] - self.time[0])
+
+    def bottleneck(self) -> LinkTrace:
+        """The trace of the bottleneck link (smallest capacity)."""
+        if not self.links:
+            raise ValueError("trace has no link data")
+        return min(self.links, key=lambda link: link.capacity_pps)
+
+    def after(self, t_start: float) -> "Trace":
+        """Restrict the trace to ``time >= t_start`` (e.g. to drop a warm-up)."""
+        mask = self.time >= t_start
+        if not np.any(mask):
+            raise ValueError("t_start is beyond the end of the trace")
+        flows = [
+            FlowTrace(
+                cca=f.cca,
+                rate=f.rate[mask],
+                delivery_rate=f.delivery_rate[mask],
+                cwnd=f.cwnd[mask],
+                inflight=f.inflight[mask],
+                rtt=f.rtt[mask],
+                extras={k: v[mask] for k, v in f.extras.items()},
+            )
+            for f in self.flows
+        ]
+        links = [
+            LinkTrace(
+                name=l.name,
+                capacity_pps=l.capacity_pps,
+                buffer_pkts=l.buffer_pkts,
+                queue=l.queue[mask],
+                loss_prob=l.loss_prob[mask],
+                arrival_rate=l.arrival_rate[mask],
+                departure_rate=l.departure_rate[mask],
+            )
+            for l in self.links
+        ]
+        return Trace(time=self.time[mask], flows=flows, links=links, substrate=self.substrate)
+
+    def normalized_rows(self) -> dict[str, np.ndarray]:
+        """Paper-style normalised series for trace figures (Figs. 4, 5, 11, 12).
+
+        Returns the bottleneck-normalised aggregate sending rate (% of link
+        rate), queue (% of buffer), loss (%), and the relative excess RTT (%)
+        of the first flow — the quantities plotted in the validation figures.
+        """
+        bottleneck = self.bottleneck()
+        total_rate = np.sum([f.rate for f in self.flows], axis=0)
+        rate_pct = 100.0 * total_rate / bottleneck.capacity_pps
+        if np.isfinite(bottleneck.buffer_pkts) and bottleneck.buffer_pkts > 0:
+            queue_pct = 100.0 * bottleneck.queue / bottleneck.buffer_pkts
+        else:
+            queue_pct = np.zeros_like(bottleneck.queue)
+        loss_pct = 100.0 * bottleneck.loss_prob
+        base_rtt = float(np.min(self.flows[0].rtt)) if len(self.flows[0].rtt) else 0.0
+        if base_rtt > 0:
+            rtt_pct = 100.0 * (self.flows[0].rtt - base_rtt) / base_rtt
+        else:
+            rtt_pct = np.zeros_like(self.flows[0].rtt)
+        return {
+            "time": self.time,
+            "rate_pct": rate_pct,
+            "queue_pct": queue_pct,
+            "loss_pct": loss_pct,
+            "rtt_excess_pct": rtt_pct,
+        }
+
+
+def resample(time: np.ndarray, values: np.ndarray, new_time: np.ndarray) -> np.ndarray:
+    """Linearly resample a series onto a new time grid (used for jitter sampling)."""
+    if len(time) != len(values):
+        raise ValueError("time and values must have equal length")
+    if len(time) == 0:
+        return np.zeros_like(new_time)
+    return np.interp(new_time, time, values)

@@ -1,0 +1,62 @@
+"""Physical-unit helpers.
+
+The whole library works internally in *packet units*:
+
+* rates (sending rate, capacity, delivery rate) in packets per second,
+* windows, queue lengths, buffer sizes and inflight volumes in packets,
+* time (delays, RTTs, simulation time) in seconds.
+
+Using packets keeps the classic fluid-model equations in their natural
+form (Reno's "+1 packet per RTT", BBRv1's 4-segment ProbeRTT window) and
+matches what a packet-level emulator counts.  The helpers below convert
+between packet units and the Mbps / bandwidth-delay-product (BDP) units
+used throughout the paper's figures.
+"""
+
+from __future__ import annotations
+
+# Default maximum segment size in bytes.  The paper's mininet setup uses
+# standard Ethernet framing; 1500-byte segments are the conventional choice.
+MSS_BYTES: int = 1500
+
+BITS_PER_BYTE: int = 8
+
+
+def mbps_to_pps(rate_mbps: float, mss_bytes: int = MSS_BYTES) -> float:
+    """Convert a rate in megabits per second to packets per second."""
+    if rate_mbps < 0:
+        raise ValueError(f"rate must be non-negative, got {rate_mbps}")
+    return rate_mbps * 1e6 / (mss_bytes * BITS_PER_BYTE)
+
+
+def pps_to_mbps(rate_pps: float, mss_bytes: int = MSS_BYTES) -> float:
+    """Convert a rate in packets per second to megabits per second."""
+    if rate_pps < 0:
+        raise ValueError(f"rate must be non-negative, got {rate_pps}")
+    return rate_pps * mss_bytes * BITS_PER_BYTE / 1e6
+
+
+def bdp_packets(capacity_pps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in packets for a capacity and round-trip time."""
+    if capacity_pps < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity_pps}")
+    if rtt_s < 0:
+        raise ValueError(f"rtt must be non-negative, got {rtt_s}")
+    return capacity_pps * rtt_s
+
+
+def buffer_packets(bdp_multiple: float, capacity_pps: float, rtt_s: float) -> float:
+    """Buffer size in packets for a buffer expressed in BDP multiples."""
+    if bdp_multiple < 0:
+        raise ValueError(f"buffer multiple must be non-negative, got {bdp_multiple}")
+    return bdp_multiple * bdp_packets(capacity_pps, rtt_s)
+
+
+def packets_to_mbit(packets: float, mss_bytes: int = MSS_BYTES) -> float:
+    """Convert a volume in packets to megabits."""
+    return packets * mss_bytes * BITS_PER_BYTE / 1e6
+
+
+def mbit_to_packets(mbit: float, mss_bytes: int = MSS_BYTES) -> float:
+    """Convert a volume in megabits to packets."""
+    return mbit * 1e6 / (mss_bytes * BITS_PER_BYTE)

@@ -1,0 +1,35 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FluidParams, dumbbell_scenario
+
+
+@pytest.fixture(scope="session")
+def short_fluid_params() -> FluidParams:
+    """Coarse but fast integration parameters for integration tests."""
+    return FluidParams(dt=2.5e-4)
+
+
+@pytest.fixture(scope="session")
+def single_bbr1_trace():
+    """A cached short single-flow BBRv1 fluid trace shared across tests."""
+    from repro.core import simulate
+
+    config = dumbbell_scenario(
+        ["bbr1"], buffer_bdp=1.0, duration_s=2.0, fluid=FluidParams(dt=2.5e-4)
+    )
+    return simulate(config)
+
+
+@pytest.fixture(scope="session")
+def single_bbr2_trace():
+    """A cached short single-flow BBRv2 fluid trace shared across tests."""
+    from repro.core import simulate
+
+    config = dumbbell_scenario(
+        ["bbr2"], buffer_bdp=1.0, duration_s=2.0, fluid=FluidParams(dt=2.5e-4)
+    )
+    return simulate(config)

@@ -1,0 +1,84 @@
+"""Tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_trace_defaults(self):
+        args = cli.build_parser().parse_args(["trace", "bbr1"])
+        assert args.cca == "bbr1"
+        assert args.discipline == "droptail"
+        assert args.substrate == "fluid"
+
+    def test_sweep_arguments(self):
+        args = cli.build_parser().parse_args(
+            ["sweep", "--buffers", "1", "4", "--mixes", "BBRv1", "--disciplines", "droptail"]
+        )
+        assert args.buffers == [1.0, 4.0]
+        assert args.mixes == ["BBRv1"]
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure", "fig99"])
+
+
+class TestExecution:
+    def test_theorems_command(self, capsys):
+        assert cli.main(["theorems", "--flows", "2", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "thm3_loss_fraction" in out
+        assert "True" in out
+
+    def test_trace_command_fluid(self, capsys):
+        assert cli.main(["trace", "bbr2", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization_percent" in out
+
+    def test_sweep_command_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = cli.main(
+            [
+                "sweep",
+                "--buffers",
+                "1",
+                "--mixes",
+                "BBRv1",
+                "--disciplines",
+                "droptail",
+                "--duration",
+                "1.0",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "jain_fairness" in out
+
+    def test_figure_command(self, capsys):
+        code = cli.main(
+            [
+                "figure",
+                "fig09_utilization",
+                "--buffers",
+                "1",
+                "--mixes",
+                "BBRv1",
+                "--disciplines",
+                "droptail",
+                "--duration",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig09_utilization" in out

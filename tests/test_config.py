@@ -1,0 +1,129 @@
+"""Tests of the scenario-configuration dataclasses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import (
+    FlowConfig,
+    FluidParams,
+    LinkConfig,
+    ScenarioConfig,
+    dumbbell_scenario,
+    spread_access_delays,
+)
+
+
+class TestLinkConfig:
+    def test_capacity_in_packets(self):
+        link = LinkConfig(capacity_mbps=100.0, delay_s=0.01)
+        assert link.capacity_pps == pytest.approx(8333.33, rel=1e-3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_mbps": 0.0, "delay_s": 0.01},
+            {"capacity_mbps": 100.0, "delay_s": -0.01},
+            {"capacity_mbps": 100.0, "delay_s": 0.01, "buffer_bdp": 0.0},
+            {"capacity_mbps": 100.0, "delay_s": 0.01, "discipline": "codel"},
+        ],
+    )
+    def test_invalid_links_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkConfig(**kwargs)
+
+
+class TestFlowConfig:
+    def test_unknown_cca_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig(cca="vegas")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FlowConfig(cca="reno", access_delay_s=-1.0)
+
+
+class TestFluidParams:
+    def test_defaults_valid(self):
+        params = FluidParams()
+        assert params.dt > 0
+        assert params.loss_sharpness > params.sigmoid_sharpness
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dt": 0.0},
+            {"sigmoid_sharpness": -1.0},
+            {"droptail_exponent": 0.5},
+            {"loss_epsilon": 1.5},
+            {"loss_sharpness": 0.0},
+            {"whi_init_bdp": 0.0},
+            {"loss_based_init_window_pkts": 0.0},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FluidParams(**kwargs)
+
+
+class TestScenario:
+    def test_dumbbell_builder(self):
+        config = dumbbell_scenario(["bbr1", "reno"], buffer_bdp=2.0)
+        assert config.num_flows == 2
+        assert config.bottleneck.buffer_bdp == 2.0
+        assert {f.cca for f in config.flows} == {"bbr1", "reno"}
+
+    def test_rtts_span_requested_range(self):
+        config = dumbbell_scenario(["reno"] * 10, rtt_range_s=(0.030, 0.040))
+        rtts = [config.rtt_s(i) for i in range(10)]
+        assert min(rtts) == pytest.approx(0.030, abs=1e-9)
+        assert max(rtts) == pytest.approx(0.040, abs=1e-9)
+
+    def test_buffer_in_packets_uses_mean_rtt(self):
+        config = dumbbell_scenario(["reno"], rtt_range_s=(0.030, 0.030), buffer_bdp=1.0)
+        assert config.buffer_packets() == pytest.approx(
+            config.bottleneck.capacity_pps * 0.030, rel=1e-6
+        )
+
+    def test_with_buffer_and_discipline_return_copies(self):
+        config = dumbbell_scenario(["reno"])
+        deep = config.with_buffer(7.0)
+        red = config.with_discipline("red")
+        assert deep.bottleneck.buffer_bdp == 7.0
+        assert config.bottleneck.buffer_bdp == 1.0
+        assert red.bottleneck.discipline == "red"
+        assert config.bottleneck.discipline == "droptail"
+
+    def test_empty_flow_list_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                bottleneck=LinkConfig(capacity_mbps=100.0, delay_s=0.01), flows=()
+            )
+
+    def test_infinite_buffer_supported(self):
+        config = dumbbell_scenario(["reno"], buffer_bdp=math.inf)
+        assert math.isinf(config.buffer_packets())
+
+
+class TestSpreadAccessDelays:
+    def test_single_flow_uses_midpoint(self):
+        delays = spread_access_delays(1, (0.030, 0.040), 0.010)
+        assert delays[0] == pytest.approx((0.035 - 0.020) / 2.0)
+
+    def test_rejects_rtt_below_bottleneck_roundtrip(self):
+        with pytest.raises(ValueError):
+            spread_access_delays(2, (0.015, 0.040), 0.010)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.001, max_value=0.02),
+    )
+    def test_all_delays_non_negative(self, n, bottleneck_delay):
+        low = 2 * bottleneck_delay
+        delays = spread_access_delays(n, (low, low + 0.02), bottleneck_delay)
+        assert len(delays) == n
+        assert all(d >= -1e-12 for d in delays)

@@ -1,0 +1,270 @@
+"""Unit tests of the packet-level congestion-control algorithms."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.emulation.cca import create_packet_cca
+from repro.emulation.cca.base import AckSample, LossEvent
+from repro.emulation.cca.bbr1 import Bbr1Packet
+from repro.emulation.cca.bbr2 import Bbr2Packet
+from repro.emulation.cca.cubic import CubicPacket
+from repro.emulation.cca.reno import RenoPacket
+
+
+def ack(now=1.0, rtt=0.03, rate=1000.0, inflight=10, seq=0, delivered=1) -> AckSample:
+    return AckSample(
+        now=now,
+        rtt=rtt,
+        delivery_rate=rate,
+        inflight=inflight,
+        acked_seq=seq,
+        newly_delivered=delivered,
+    )
+
+
+def loss(now=1.0, num=1, inflight=10, highest=100, seqs=(50,)) -> LossEvent:
+    return LossEvent(
+        now=now, num_lost=num, inflight=inflight, highest_seq_sent=highest, lost_seqs=seqs
+    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["reno", "cubic", "bbr1", "bbr2"])
+    def test_create(self, name):
+        cca = create_packet_cca(name, random.Random(0), initial_rate_pps=1000.0)
+        assert cca.name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            create_packet_cca("vegas", random.Random(0), 1000.0)
+
+
+class TestRenoPacket:
+    def test_slow_start_doubles_per_window(self):
+        reno = RenoPacket(initial_cwnd_pkts=10.0)
+        for seq in range(10):
+            reno.on_ack(ack(seq=seq))
+        assert reno.cwnd_pkts == pytest.approx(20.0)
+
+    def test_congestion_avoidance_adds_one_per_window(self):
+        reno = RenoPacket(initial_cwnd_pkts=10.0, ssthresh_pkts=5.0)
+        start = reno.cwnd_pkts
+        for seq in range(10):
+            reno.on_ack(ack(seq=seq))
+        assert reno.cwnd_pkts == pytest.approx(start + 1.0, rel=0.05)
+
+    def test_loss_halves_window_once_per_episode(self):
+        reno = RenoPacket(initial_cwnd_pkts=100.0)
+        reno.on_loss(loss(seqs=(10,), highest=200))
+        assert reno.cwnd_pkts == pytest.approx(50.0)
+        # A second loss from the same window (seq below the recovery marker)
+        # must not halve the window again.
+        reno.on_loss(loss(seqs=(20,), highest=210))
+        assert reno.cwnd_pkts == pytest.approx(50.0)
+
+    def test_new_episode_halves_again(self):
+        reno = RenoPacket(initial_cwnd_pkts=100.0)
+        reno.on_loss(loss(seqs=(10,), highest=200))
+        reno.on_loss(loss(seqs=(250,), highest=300))
+        assert reno.cwnd_pkts == pytest.approx(25.0)
+
+    def test_timeout_collapses_window(self):
+        reno = RenoPacket(initial_cwnd_pkts=64.0)
+        reno.on_timeout(now=1.0)
+        assert reno.cwnd_pkts == 1.0
+        assert reno.ssthresh_pkts == pytest.approx(32.0)
+
+    def test_unpaced(self):
+        assert RenoPacket().pacing_interval() == 0.0
+
+    def test_window_floor(self):
+        reno = RenoPacket(initial_cwnd_pkts=2.0)
+        reno.on_loss(loss(seqs=(1,), highest=5))
+        assert reno.window_limit() >= 1.0
+
+
+class TestCubicPacket:
+    def test_slow_start_growth(self):
+        cubic = CubicPacket(initial_cwnd_pkts=10.0)
+        for seq in range(10):
+            cubic.on_ack(ack(seq=seq))
+        assert cubic.cwnd_pkts == pytest.approx(20.0)
+
+    def test_loss_applies_beta(self):
+        cubic = CubicPacket(initial_cwnd_pkts=100.0)
+        cubic.on_loss(loss(seqs=(10,), highest=100))
+        assert cubic.cwnd_pkts == pytest.approx(70.0)
+        assert cubic.w_max == pytest.approx(100.0)
+
+    def test_window_recovers_towards_wmax(self):
+        cubic = CubicPacket(initial_cwnd_pkts=100.0)
+        cubic.on_loss(loss(now=0.0, seqs=(10,), highest=100))
+        # Feed ACKs over simulated time; the cubic function must grow the
+        # window back towards (and beyond) w_max.
+        for step in range(400):
+            cubic.on_ack(ack(now=0.1 * step, seq=step + 200))
+        assert cubic.cwnd_pkts > 95.0
+
+    def test_duplicate_loss_in_same_window_ignored(self):
+        cubic = CubicPacket(initial_cwnd_pkts=100.0)
+        cubic.on_loss(loss(seqs=(10,), highest=100))
+        cubic.on_loss(loss(seqs=(20,), highest=105))
+        assert cubic.cwnd_pkts == pytest.approx(70.0)
+
+    def test_timeout(self):
+        cubic = CubicPacket(initial_cwnd_pkts=80.0)
+        cubic.on_timeout(now=2.0)
+        assert cubic.cwnd_pkts == 1.0
+
+
+class TestBbr1Packet:
+    def make(self) -> Bbr1Packet:
+        return Bbr1Packet(rng=random.Random(3), initial_rate_pps=1000.0)
+
+    def test_startup_gain_applied(self):
+        bbr = self.make()
+        assert bbr.state == "startup"
+        bbr.on_ack(ack(rate=2000.0))
+        assert bbr.pacing_rate_pps == pytest.approx(2.885 * bbr.btlbw_pps, rel=1e-6)
+
+    def test_btlbw_is_windowed_max(self):
+        bbr = self.make()
+        bbr.on_ack(ack(rate=500.0))
+        bbr.on_ack(ack(rate=2000.0))
+        bbr.on_ack(ack(rate=800.0))
+        assert bbr.btlbw_pps == pytest.approx(2000.0)
+
+    def test_rtprop_is_minimum(self):
+        bbr = self.make()
+        bbr.on_ack(ack(rtt=0.05))
+        bbr.on_ack(ack(rtt=0.03))
+        bbr.on_ack(ack(rtt=0.08))
+        assert bbr.rtprop_s == pytest.approx(0.03)
+
+    def test_loss_is_ignored(self):
+        bbr = self.make()
+        bbr.on_ack(ack(rate=2000.0))
+        before = (bbr.cwnd_pkts, bbr.pacing_rate_pps)
+        bbr.on_loss(loss(num=50))
+        assert (bbr.cwnd_pkts, bbr.pacing_rate_pps) == before
+
+    def test_exits_startup_when_bandwidth_plateaus(self):
+        bbr = self.make()
+        now = 0.0
+        for round_idx in range(20):
+            for _ in range(10):
+                now += 0.003
+                bbr.on_ack(ack(now=now, rate=5000.0, inflight=5))
+            if bbr.state != "startup":
+                break
+        assert bbr.state in ("drain", "probe_bw")
+
+    def test_probe_rtt_after_10s_without_new_minimum(self):
+        bbr = self.make()
+        bbr.on_ack(ack(now=0.0, rtt=0.03, rate=5000.0))
+        bbr.on_ack(ack(now=10.5, rtt=0.05, rate=5000.0))
+        assert bbr.state == "probe_rtt"
+        assert bbr.cwnd_pkts == pytest.approx(4.0)
+
+    def test_probe_bw_cycles_through_gains(self):
+        bbr = self.make()
+        bbr.state = "probe_bw"
+        bbr.rtprop_s = 0.01
+        bbr._rtprop_valid = True
+        bbr._rtprop_stamp = 0.0
+        seen_gains = set()
+        now = 0.0
+        for _ in range(200):
+            now += 0.005
+            bbr.on_ack(ack(now=now, rtt=0.01, rate=5000.0))
+            seen_gains.add(round(bbr.pacing_gain, 3))
+        assert 1.25 in seen_gains
+        assert 0.75 in seen_gains
+        assert 1.0 in seen_gains
+
+
+class TestBbr2Packet:
+    def make(self) -> Bbr2Packet:
+        return Bbr2Packet(rng=random.Random(3), initial_rate_pps=1000.0)
+
+    def test_starts_in_startup(self):
+        bbr = self.make()
+        assert bbr.state == "startup"
+
+    def test_cruise_reached_after_drain(self):
+        bbr = self.make()
+        now = 0.0
+        for _ in range(30):
+            for _ in range(10):
+                now += 0.003
+                bbr.on_ack(ack(now=now, rate=5000.0, inflight=3))
+            if bbr.state == "cruise":
+                break
+        assert bbr.state in ("cruise", "drain")
+
+    def test_cruise_loss_sets_inflight_lo(self):
+        bbr = self.make()
+        bbr.state = "cruise"
+        bbr.cwnd_pkts = 100.0
+        bbr.on_loss(loss(num=2))
+        assert bbr.inflight_lo == pytest.approx(70.0)
+
+    def test_repeated_cruise_loss_decays_inflight_lo(self):
+        bbr = self.make()
+        bbr.state = "cruise"
+        bbr.cwnd_pkts = 100.0
+        bbr.on_loss(loss(num=1))
+        bbr.on_loss(loss(num=1))
+        assert bbr.inflight_lo == pytest.approx(49.0)
+
+    def test_up_phase_loss_cuts_inflight_hi_and_enters_down(self):
+        bbr = self.make()
+        bbr.state = "up"
+        bbr.inflight_hi = 200.0
+        bbr._round_delivered = 10
+        bbr._round_lost = 0
+        bbr.on_loss(loss(num=5, inflight=150))
+        assert bbr.state == "down"
+        assert bbr.inflight_hi == pytest.approx(140.0)
+
+    def test_probe_rtt_cwnd_is_half_bdp(self):
+        bbr = self.make()
+        bbr.on_ack(ack(now=0.0, rtt=0.03, rate=5000.0))
+        bbr.on_ack(ack(now=10.5, rtt=0.05, rate=5000.0))
+        assert bbr.state == "probe_rtt"
+        assert bbr.cwnd_pkts == pytest.approx(max(4.0, bbr.bdp_pkts() / 2.0))
+
+    def test_headroom_applied_in_cruise(self):
+        bbr = self.make()
+        bbr.state = "cruise"
+        bbr.inflight_hi = 100.0
+        bbr.btlbw_pps = 1e6  # make the 2*BDP cap irrelevant
+        bbr.rtprop_s = 0.1
+        bbr._set_controls()
+        assert bbr.cwnd_pkts == pytest.approx(85.0)
+
+    def test_timeout_resets_short_term_bound(self):
+        bbr = self.make()
+        bbr.on_timeout(now=1.0)
+        assert bbr.inflight_lo == pytest.approx(4.0)
+
+
+class TestBaseProtocol:
+    def test_window_limit_floor(self):
+        reno = RenoPacket(initial_cwnd_pkts=1.0)
+        reno.cwnd_pkts = 0.2
+        assert reno.window_limit() == 1.0
+
+    def test_pacing_interval_inverse_of_rate(self):
+        bbr = Bbr1Packet(rng=random.Random(0), initial_rate_pps=1000.0)
+        bbr.pacing_rate_pps = 500.0
+        assert bbr.pacing_interval() == pytest.approx(0.002)
+
+    def test_infinite_rate_is_unpaced(self):
+        reno = RenoPacket()
+        reno.pacing_rate_pps = math.inf
+        assert reno.pacing_interval() == 0.0

@@ -1,0 +1,181 @@
+"""Tests of the experiment harness: scenarios, sweeps, figures, reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, report, scenarios, sweep
+
+
+class TestScenarios:
+    def test_all_mixes_have_ten_senders(self):
+        for mix, ccas in scenarios.CCA_MIXES.items():
+            assert len(ccas) == 10, mix
+
+    def test_heterogeneous_mixes_are_half_half(self):
+        for mix, ccas in scenarios.CCA_MIXES.items():
+            if "/" in mix:
+                distinct = set(ccas)
+                assert len(distinct) == 2, mix
+                assert all(ccas.count(cca) == 5 for cca in distinct), mix
+
+    def test_trace_validation_scenario_matches_paper(self):
+        config = scenarios.trace_validation_scenario("bbr1")
+        assert config.num_flows == 1
+        assert config.bottleneck.capacity_mbps == 100.0
+        assert config.bottleneck.delay_s == pytest.approx(0.010)
+        assert config.rtt_s(0) == pytest.approx(0.0312)
+        assert config.bottleneck.buffer_bdp == 1.0
+
+    def test_aggregate_scenario_rtt_ranges(self):
+        normal = scenarios.aggregate_scenario("BBRv1", 2.0, "droptail")
+        short = scenarios.aggregate_scenario("BBRv1", 2.0, "droptail", short_rtt=True)
+        assert 0.030 <= normal.rtt_s(0) <= 0.040
+        assert 0.010 <= short.rtt_s(0) <= 0.020
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            scenarios.aggregate_scenario("BBRv3", 1.0, "droptail")
+
+    def test_competition_scenario_flow_order(self):
+        config = scenarios.competition_scenario()
+        assert [f.cca for f in config.flows] == ["reno", "bbr1"]
+
+
+class TestSweep:
+    @pytest.fixture(autouse=True)
+    def _clear_cache(self):
+        sweep.clear_cache()
+        yield
+        sweep.clear_cache()
+
+    def fast_kwargs(self):
+        return dict(duration_s=1.0, dt=1e-3)
+
+    def test_run_point_returns_metrics(self):
+        point = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+        assert point.mix == "BBRv1"
+        assert 0.0 <= point.metrics.jain_fairness <= 1.0
+        assert 0.0 <= point.metrics.utilization_percent <= 100.0
+
+    def test_cache_reuses_results(self):
+        first = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+        second = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+        assert first is second
+
+    def test_cache_can_be_bypassed(self):
+        first = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+        second = sweep.run_point(
+            "BBRv1", 1.0, "droptail", use_cache=False, **self.fast_kwargs()
+        )
+        assert first is not second
+
+    def test_run_sweep_covers_grid(self):
+        points = sweep.run_sweep(
+            mixes=["BBRv1", "BBRv2"],
+            buffers_bdp=[1.0, 4.0],
+            disciplines=["droptail"],
+            **self.fast_kwargs(),
+        )
+        assert len(points) == 4
+        assert {p.buffer_bdp for p in points} == {1.0, 4.0}
+
+    def test_series_extraction_sorted(self):
+        points = sweep.run_sweep(
+            mixes=["BBRv1"], buffers_bdp=[4.0, 1.0], disciplines=["droptail"], **self.fast_kwargs()
+        )
+        line = sweep.series(points, "utilization_percent", "BBRv1", "droptail")
+        assert [x for x, _ in line] == [1.0, 4.0]
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError):
+            sweep.run_point("BBRv1", 1.0, "droptail", substrate="ns3")
+
+    def test_row_flattening(self):
+        point = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+        row = point.row()
+        assert row["mix"] == "BBRv1"
+        assert "jain_fairness" in row
+
+
+class TestFigures:
+    def test_theorem_table_rows(self):
+        rows = figures.theorem_table(flow_counts=(2, 10))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["thm2_stable"] and row["thm3_stable"] and row["thm5_stable"]
+            assert row["thm1_queue_bdp"] == pytest.approx(1.0)
+            assert row["thm4_queue_bdp"] < 0.25
+
+    def test_convergence_demo_reaches_expected_queue(self):
+        result = figures.convergence_demo("bbr2", num_flows=5, duration_s=40.0)
+        assert result["final_queue_pkts"] == pytest.approx(
+            result["expected_queue_pkts"], rel=0.05
+        )
+
+    def test_figure_2_variables_present(self):
+        data = figures.figure_2(duration_s=0.3, dt=5e-4)
+        assert set(data) == {"bbr1", "bbr2"}
+        assert "w_hi_pkts" in data["bbr2"]
+        assert len(data["bbr1"]["time"]) > 10
+
+    def test_aggregate_figure_requires_known_metric(self):
+        with pytest.raises(ValueError):
+            figures.aggregate_figure("throughput")
+
+    def test_aggregate_figure_structure(self):
+        sweep.clear_cache()
+        data = figures.figure_9(
+            mixes=["BBRv1"],
+            buffers_bdp=[1.0],
+            disciplines=["droptail"],
+            duration_s=1.0,
+            dt=1e-3,
+        )
+        assert "droptail" in data
+        assert data["droptail"]["BBRv1"][0][0] == 1.0
+
+    def test_figure_index_complete(self):
+        assert set(figures.AGGREGATE_FIGURES) == {
+            "fig06_fairness",
+            "fig07_loss",
+            "fig08_queuing",
+            "fig09_utilization",
+            "fig10_jitter",
+        }
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = report.format_table(["a", "metric"], [["x", 1.23456], ["long-name", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in text
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            report.format_table(["a", "b"], [[1]])
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": 2.5}, {"x": 2, "y": 3.5}]
+        path = report.write_csv(tmp_path / "out.csv", rows)
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert len(content) == 3
+
+    def test_write_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            report.write_csv(tmp_path / "out.csv", [])
+
+    def test_series_table(self):
+        text = report.series_table(
+            "Fig test",
+            {"BBRv1": [(1.0, 0.5), (4.0, 0.9)], "BBRv2": [(1.0, 0.7), (4.0, 0.95)]},
+        )
+        assert "Fig test" in text
+        assert "BBRv2" in text
+
+    def test_series_table_requires_series(self):
+        with pytest.raises(ValueError):
+            report.series_table("empty", {})

@@ -1,0 +1,188 @@
+"""Tests of trace containers, fairness, and aggregate metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    FlowTrace,
+    LinkTrace,
+    Trace,
+    aggregate_metrics,
+    buffer_occupancy_percent,
+    jain_index,
+    jitter_ms,
+    loss_percent,
+    per_cca_share,
+    resample,
+    trace_fairness,
+    utilization_percent,
+)
+
+
+def make_trace(
+    rates: list[float], capacity: float = 1000.0, queue_level: float = 50.0
+) -> Trace:
+    """Build a small synthetic trace with constant per-flow rates."""
+    n_samples = 20
+    time = np.linspace(0.0, 1.0, n_samples)
+    flows = []
+    for i, rate in enumerate(rates):
+        flows.append(
+            FlowTrace(
+                cca="reno" if i % 2 == 0 else "bbr1",
+                rate=np.full(n_samples, rate),
+                delivery_rate=np.full(n_samples, rate),
+                cwnd=np.full(n_samples, 10.0),
+                inflight=np.full(n_samples, 5.0),
+                rtt=np.full(n_samples, 0.03),
+            )
+        )
+    total = sum(rates)
+    links = [
+        LinkTrace(
+            name="bottleneck",
+            capacity_pps=capacity,
+            buffer_pkts=100.0,
+            queue=np.full(n_samples, queue_level),
+            loss_prob=np.full(n_samples, 0.1),
+            arrival_rate=np.full(n_samples, total),
+            departure_rate=np.full(n_samples, min(total, capacity)),
+        )
+    ]
+    return Trace(time=time, flows=flows, links=links)
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_monopoly(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=30))
+    def test_bounds(self, allocations):
+        value = jain_index(allocations)
+        assert 1.0 / len(allocations) - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=1e-3, max_value=1e6), min_size=2, max_size=20),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_scale_invariance(self, allocations, scale):
+        assert jain_index(allocations) == pytest.approx(
+            jain_index([scale * a for a in allocations]), rel=1e-6
+        )
+
+
+class TestTraceMetrics:
+    def test_fairness_from_trace(self):
+        trace = make_trace([100.0, 100.0, 100.0, 100.0])
+        assert trace_fairness(trace) == pytest.approx(1.0)
+
+    def test_unfair_trace(self):
+        trace = make_trace([900.0, 10.0])
+        assert trace_fairness(trace) < 0.6
+
+    def test_per_cca_share_sums_to_one(self):
+        trace = make_trace([300.0, 100.0, 300.0, 100.0])
+        shares = per_cca_share(trace)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["reno"] == pytest.approx(0.75)
+
+    def test_loss_percent(self):
+        trace = make_trace([500.0, 500.0])
+        assert loss_percent(trace) == pytest.approx(10.0)
+
+    def test_occupancy_percent(self):
+        trace = make_trace([500.0], queue_level=25.0)
+        assert buffer_occupancy_percent(trace) == pytest.approx(25.0)
+
+    def test_utilization_percent_capped(self):
+        trace = make_trace([900.0, 900.0], capacity=1000.0)
+        assert utilization_percent(trace) == pytest.approx(100.0)
+
+    def test_constant_rtt_has_zero_jitter(self):
+        trace = make_trace([500.0])
+        assert jitter_ms(trace) == pytest.approx(0.0, abs=1e-9)
+
+    def test_jitter_positive_for_varying_rtt(self):
+        trace = make_trace([500.0])
+        trace.flows[0].rtt = 0.03 + 0.005 * np.sin(np.linspace(0, 20, len(trace.time)))
+        assert jitter_ms(trace) > 0.0
+
+    def test_aggregate_metrics_bundle(self):
+        metrics = aggregate_metrics(make_trace([500.0, 500.0]))
+        as_dict = metrics.as_dict()
+        assert set(as_dict) == {
+            "jain_fairness",
+            "loss_percent",
+            "buffer_occupancy_percent",
+            "utilization_percent",
+            "jitter_ms",
+        }
+        assert as_dict["jain_fairness"] == pytest.approx(1.0)
+
+
+class TestTraceContainers:
+    def test_mismatched_lengths_rejected(self):
+        time = np.linspace(0, 1, 10)
+        flow = FlowTrace(
+            cca="reno",
+            rate=np.zeros(5),
+            delivery_rate=np.zeros(5),
+            cwnd=np.zeros(5),
+            inflight=np.zeros(5),
+            rtt=np.zeros(5),
+        )
+        with pytest.raises(ValueError):
+            Trace(time=time, flows=[flow], links=[])
+
+    def test_flowtrace_requires_equal_series(self):
+        with pytest.raises(ValueError):
+            FlowTrace(
+                cca="reno",
+                rate=np.zeros(5),
+                delivery_rate=np.zeros(4),
+                cwnd=np.zeros(5),
+                inflight=np.zeros(5),
+                rtt=np.zeros(5),
+            )
+
+    def test_bottleneck_selection_picks_smallest_capacity(self):
+        trace = make_trace([100.0])
+        extra_link = LinkTrace(
+            name="fast",
+            capacity_pps=10_000.0,
+            buffer_pkts=100.0,
+            queue=np.zeros(len(trace.time)),
+            loss_prob=np.zeros(len(trace.time)),
+            arrival_rate=np.zeros(len(trace.time)),
+            departure_rate=np.zeros(len(trace.time)),
+        )
+        trace.links.append(extra_link)
+        assert trace.bottleneck().name == "bottleneck"
+
+    def test_resample_interpolates(self):
+        time = np.array([0.0, 1.0])
+        values = np.array([0.0, 10.0])
+        out = resample(time, values, np.array([0.5]))
+        assert out[0] == pytest.approx(5.0)
+
+    def test_resample_length_mismatch(self):
+        with pytest.raises(ValueError):
+            resample(np.zeros(3), np.zeros(2), np.zeros(1))

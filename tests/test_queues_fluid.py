@@ -1,0 +1,108 @@
+"""Tests of the fluid queue and loss models (Eq. 2, 4, 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import queues
+
+positive_rates = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+capacities = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+buffers = st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+
+
+class TestDroptailLoss:
+    def test_no_loss_when_queue_empty(self):
+        assert queues.droptail_loss(2000.0, 1000.0, 0.0, 100.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_loss_when_below_capacity(self):
+        assert queues.droptail_loss(500.0, 1000.0, 100.0, 100.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_full_queue_loss_equals_excess(self):
+        # With a full queue and 25% overload, 20% of the traffic is lost.
+        loss = queues.droptail_loss(1250.0, 1000.0, 100.0, 100.0)
+        assert loss == pytest.approx(0.2, rel=1e-2)
+
+    def test_infinite_buffer_never_drops(self):
+        assert queues.droptail_loss(2000.0, 1000.0, 1e9, math.inf) == 0.0
+
+    def test_zero_arrival_is_lossless(self):
+        assert queues.droptail_loss(0.0, 1000.0, 100.0, 100.0) == 0.0
+
+    @given(positive_rates, capacities, buffers)
+    def test_loss_bounded(self, arrival, capacity, buffer_size):
+        queue = buffer_size / 2.0
+        loss = queues.droptail_loss(arrival, capacity, queue, buffer_size)
+        assert 0.0 <= loss <= 1.0
+
+    @given(positive_rates, capacities, buffers)
+    def test_loss_increases_with_queue(self, arrival, capacity, buffer_size):
+        low = queues.droptail_loss(arrival, capacity, 0.5 * buffer_size, buffer_size)
+        high = queues.droptail_loss(arrival, capacity, buffer_size, buffer_size)
+        assert high >= low - 1e-12
+
+
+class TestRedLoss:
+    def test_proportional_to_occupancy(self):
+        assert queues.red_loss(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_clamped_at_one(self):
+        assert queues.red_loss(200.0, 100.0) == 1.0
+
+    def test_infinite_buffer(self):
+        assert queues.red_loss(100.0, math.inf) == 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1e5), buffers)
+    def test_bounded(self, queue, buffer_size):
+        assert 0.0 <= queues.red_loss(queue, buffer_size) <= 1.0
+
+
+class TestDispatch:
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError):
+            queues.loss_probability("codel", 1000.0, 1000.0, 10.0, 100.0)
+
+    def test_red_dispatch_matches_red_loss(self):
+        assert queues.loss_probability("red", 0.0, 1000.0, 30.0, 100.0) == pytest.approx(0.3)
+
+
+class TestQueueIntegration:
+    def test_grows_under_overload(self):
+        q = queues.step_queue(0.0, 2000.0, 1000.0, 0.0, 100.0, dt=0.01)
+        assert q == pytest.approx(10.0)
+
+    def test_drains_under_underload(self):
+        q = queues.step_queue(50.0, 0.0, 1000.0, 0.0, 100.0, dt=0.01)
+        assert q == pytest.approx(40.0)
+
+    def test_never_negative(self):
+        assert queues.step_queue(0.0, 0.0, 1000.0, 0.0, 100.0, dt=1.0) == 0.0
+
+    def test_never_exceeds_buffer(self):
+        assert queues.step_queue(99.0, 1e6, 1000.0, 0.0, 100.0, dt=1.0) == 100.0
+
+    def test_loss_reduces_effective_arrival(self):
+        lossless = queues.step_queue(0.0, 2000.0, 1000.0, 0.0, 1e6, dt=0.01)
+        lossy = queues.step_queue(0.0, 2000.0, 1000.0, 0.5, 1e6, dt=0.01)
+        assert lossy < lossless
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            queues.queue_derivative(1000.0, 1000.0, 1.5, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            queues.step_queue(0.0, 1000.0, 1000.0, 0.0, 100.0, dt=0.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        positive_rates,
+        capacities,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_queue_stays_in_bounds(self, queue, arrival, capacity, loss):
+        buffer_size = 100.0
+        new_queue = queues.step_queue(queue, arrival, capacity, loss, buffer_size, dt=0.05)
+        assert 0.0 <= new_queue <= buffer_size

@@ -1,0 +1,72 @@
+"""Unit tests and properties of the unit-conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestMbpsConversion:
+    def test_100mbps_is_8333_packets_per_second(self):
+        assert units.mbps_to_pps(100.0) == pytest.approx(8333.33, rel=1e-3)
+
+    def test_zero_rate_maps_to_zero(self):
+        assert units.mbps_to_pps(0.0) == 0.0
+        assert units.pps_to_mbps(0.0) == 0.0
+
+    def test_custom_mss(self):
+        # With 1250-byte packets, 10 Mbps is exactly 1000 packets/second.
+        assert units.mbps_to_pps(10.0, mss_bytes=1250) == pytest.approx(1000.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.mbps_to_pps(-1.0)
+        with pytest.raises(ValueError):
+            units.pps_to_mbps(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_roundtrip(self, rate_mbps):
+        assert units.pps_to_mbps(units.mbps_to_pps(rate_mbps)) == pytest.approx(
+            rate_mbps, rel=1e-9, abs=1e-12
+        )
+
+
+class TestBdp:
+    def test_100mbps_30ms_bdp(self):
+        pps = units.mbps_to_pps(100.0)
+        assert units.bdp_packets(pps, 0.030) == pytest.approx(250.0, rel=1e-3)
+
+    def test_buffer_in_bdp_multiples(self):
+        pps = units.mbps_to_pps(100.0)
+        assert units.buffer_packets(2.0, pps, 0.030) == pytest.approx(500.0, rel=1e-3)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            units.bdp_packets(-1.0, 0.03)
+        with pytest.raises(ValueError):
+            units.bdp_packets(1000.0, -0.03)
+        with pytest.raises(ValueError):
+            units.buffer_packets(-1.0, 1000.0, 0.03)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=1e-4, max_value=10.0),
+    )
+    def test_bdp_scales_linearly_with_rtt(self, capacity, rtt):
+        assert units.bdp_packets(capacity, 2 * rtt) == pytest.approx(
+            2 * units.bdp_packets(capacity, rtt), rel=1e-9
+        )
+
+
+class TestVolumeConversion:
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_roundtrip(self, packets):
+        assert units.mbit_to_packets(units.packets_to_mbit(packets)) == pytest.approx(
+            packets, rel=1e-9, abs=1e-9
+        )
+
+    def test_single_packet_is_12_kbit(self):
+        assert units.packets_to_mbit(1.0) == pytest.approx(0.012)
