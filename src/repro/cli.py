@@ -14,7 +14,6 @@ import argparse
 import sys
 from typing import Sequence
 
-from .config import dumbbell_scenario
 from .core.simulator import simulate
 from .emulation.runner import emulate
 from .experiments import figures, report, scenarios, sweep
@@ -73,11 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_trace(args: argparse.Namespace) -> int:
-    config = dumbbell_scenario(
-        [args.cca],
-        buffer_bdp=args.buffer_bdp,
+    # The paper's single-flow trace-validation scenario (Sec. 4.2), matching
+    # the help text: 31.2 ms RTT and fair-share initial window for the
+    # loss-based CCAs (the fluid models have no slow-start phase).
+    config = scenarios.trace_validation_scenario(
+        args.cca,
         discipline=args.discipline,
         duration_s=args.duration,
+        buffer_bdp=args.buffer_bdp,
     )
     trace = simulate(config) if args.substrate == "fluid" else emulate(config)
     metrics = aggregate_metrics(trace)

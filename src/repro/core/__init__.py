@@ -7,7 +7,7 @@ from .flow import FlowInputs, FlowState, FluidCCA
 from .network import Link, Network, Path
 from .registry import available_ccas, create_model
 from .reno import RenoFluid
-from .simulator import FluidSimulator, simulate
+from .simulator import FluidSimulator, simulate, simulate_many
 
 __all__ = [
     "Bbr1Fluid",
@@ -24,6 +24,7 @@ __all__ = [
     "RenoFluid",
     "FluidSimulator",
     "simulate",
+    "simulate_many",
     "available_ccas",
     "create_model",
 ]

@@ -29,10 +29,12 @@ what the real protocol does — and keep the genuinely continuous parts
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Hashable
+
+import numpy as np
 
 from . import smooth
-from .flow import FlowInputs, FlowState, FluidCCA
+from .flow import FlowInputs, FlowInputsBatch, FlowState, FlowStateBatch, FluidCCA
 from .network import Network
 
 #: Duration of the ProbeRTT state (seconds).
@@ -166,6 +168,141 @@ class Bbr1Fluid(FluidCCA):
         else:
             state.rate = min(cwnd_pbw / tau, pacing)
         self.update_inflight(state, inputs)
+
+    # ------------------------------------------------------------------ #
+    # Batched path
+    # ------------------------------------------------------------------ #
+
+    def batch_key(self) -> Hashable:
+        # ``initial_btl_share`` only affects ``initial_state``; the per-step
+        # dynamics depend solely on the pulse sharpness.
+        return ("bbr1", self.params.sigmoid_sharpness)
+
+    def step_all(self, batch: FlowStateBatch, inputs: FlowInputsBatch) -> None:
+        extras = batch.extras
+        dt = inputs.dt
+        rate_old = batch.rate
+
+        # The rare branches (ProbeRTT toggles, gain-cycle rollover, new
+        # minimum-RTT samples) are guarded by ``any()`` checks: skipping an
+        # all-False ``np.where`` leaves every value bit-identical and saves
+        # most of the per-step cost on the hot path.
+
+        # --- RTprop estimation (Eq. 9) -------------------------------- #
+        tau_min_old = extras["tau_min"]
+        new_min_sample = inputs.tau_delayed < tau_min_old - RTT_SAMPLE_EPS_S
+        tau_min = np.minimum(tau_min_old, inputs.tau_delayed)
+
+        # --- ProbeRTT state machine (Eq. 11-13) ------------------------ #
+        m_prt_old = extras["m_prt"]
+        in_probe_rtt = m_prt_old >= 0.5
+        any_probe_rtt = in_probe_rtt.any()
+        t_prt = extras["t_prt"] + dt
+        if new_min_sample.any():
+            t_prt = np.where(new_min_sample & ~in_probe_rtt, 0.0, t_prt)
+        if any_probe_rtt:
+            threshold = np.where(
+                in_probe_rtt, PROBE_RTT_DURATION_S, PROBE_RTT_INTERVAL_S
+            )
+            expired = t_prt >= threshold
+        else:
+            expired = t_prt >= PROBE_RTT_INTERVAL_S
+        if expired.any():
+            # ``m_prt`` is exactly 0.0 or 1.0, so the toggle is ``1 - m_prt``.
+            m_prt = np.where(expired, 1.0 - m_prt_old, m_prt_old)
+            t_prt = np.where(expired, 0.0, t_prt)
+            in_probe_rtt = m_prt >= 0.5
+            any_probe_rtt = in_probe_rtt.any()
+        else:
+            m_prt = m_prt_old
+
+        # --- ProbeBW period clock and BtlBw adoption (Eq. 16, 18, 20) -- #
+        t_pbw = extras["t_pbw"] + dt
+        period = GAIN_CYCLE_PHASES * tau_min
+        rollover = t_pbw >= period
+        x_max = extras["x_max"]
+        if rollover.any():
+            x_btl = np.where(rollover & (x_max > 0.0), x_max, extras["x_btl"])
+            x_max = np.where(rollover, 0.0, x_max)
+            t_pbw = np.where(rollover, 0.0, t_pbw)
+        else:
+            x_btl = extras["x_btl"]
+        measurement = rate_old if inputs.literal_xmax else inputs.delivery_rate
+        x_max = np.maximum(x_max, measurement)
+
+        # --- Pacing rate with probing/draining pulses (Eq. 21-22) ------ #
+        phase = extras["phase"]
+        sharpness = self.params.sigmoid_sharpness / np.maximum(tau_min, 1e-6)
+        probe_start = phase * tau_min
+        drain_start = (phase + 1.0) * tau_min
+        drain_end = (phase + 2.0) * tau_min
+        # All four pulse sigmoids evaluated as one stacked call.
+        gates = smooth.scaled_sigmoid(
+            np.concatenate(
+                [
+                    t_pbw - probe_start,
+                    drain_start - t_pbw,
+                    t_pbw - drain_start,
+                    drain_end - t_pbw,
+                ]
+            )
+            * np.tile(sharpness, 4)
+        )
+        n = t_pbw.shape[0]
+        probe = gates[:n] * gates[n : 2 * n]
+        drain = gates[2 * n : 3 * n] * gates[3 * n :]
+        pacing = x_btl * (1.0 + (PROBE_GAIN - 1.0) * probe - (1.0 - DRAIN_GAIN) * drain)
+
+        # --- Inflight limits and sending rate (Eq. 14-15, 23) ----------- #
+        cwnd_pbw = CWND_GAIN * (x_btl * tau_min)
+        tau = np.maximum(inputs.tau, 1e-9)
+        if any_probe_rtt:
+            cwnd = np.where(in_probe_rtt, PROBE_RTT_CWND_PKTS, cwnd_pbw)
+            rate = np.where(
+                in_probe_rtt,
+                PROBE_RTT_CWND_PKTS / tau,
+                np.minimum(cwnd_pbw / tau, pacing),
+            )
+        else:
+            cwnd = cwnd_pbw
+            rate = np.minimum(cwnd_pbw / tau, pacing)
+        inflight = self.update_inflight_all(batch, inputs, rate)
+
+        active = inputs.active
+        if active is None:
+            extras["tau_min"] = tau_min
+            extras["m_prt"] = m_prt
+            extras["t_prt"] = t_prt
+            extras["t_pbw"] = t_pbw
+            extras["x_btl"] = x_btl
+            extras["x_max"] = x_max
+            extras["cwnd"] = cwnd
+            batch.rate = rate
+            batch.inflight = inflight
+        else:
+            extras["tau_min"] = np.where(active, tau_min, tau_min_old)
+            extras["m_prt"] = np.where(active, m_prt, m_prt_old)
+            extras["t_prt"] = np.where(active, t_prt, extras["t_prt"])
+            extras["t_pbw"] = np.where(active, t_pbw, extras["t_pbw"])
+            extras["x_btl"] = np.where(active, x_btl, extras["x_btl"])
+            extras["x_max"] = np.where(active, x_max, extras["x_max"])
+            extras["cwnd"] = np.where(active, cwnd, extras["cwnd"])
+            batch.rate = np.where(active, rate, 0.0)
+            batch.inflight = np.where(active, inflight, batch.inflight)
+
+    def congestion_window_all(self, batch: FlowStateBatch) -> np.ndarray:
+        return batch.extras["cwnd"]
+
+    def trace_fields_all(self, batch: FlowStateBatch) -> dict[str, np.ndarray]:
+        extras = batch.extras
+        return {
+            "x_btl": extras["x_btl"],
+            "x_max": extras["x_max"],
+            "tau_min": extras["tau_min"],
+            "cwnd": extras["cwnd"],
+            "m_prt": extras["m_prt"],
+            "t_pbw": extras["t_pbw"],
+        }
 
     def congestion_window(self, state: FlowState) -> float:
         return state.extra["cwnd"]

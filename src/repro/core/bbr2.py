@@ -28,10 +28,12 @@ transitions (Eq. 26/27); the continuous dynamics of ``w_hi``/``w_lo``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Hashable
+
+import numpy as np
 
 from . import smooth
-from .flow import FlowInputs, FlowState, FluidCCA
+from .flow import FlowInputs, FlowInputsBatch, FlowState, FlowStateBatch, FluidCCA
 from .network import Network
 
 #: Duration of the ProbeRTT state (seconds).
@@ -261,6 +263,217 @@ class Bbr2Fluid(FluidCCA):
         else:
             state.rate = min(cwnd_pbw / tau, pacing)
         self.update_inflight(state, inputs)
+
+    # ------------------------------------------------------------------ #
+    # Batched path
+    # ------------------------------------------------------------------ #
+
+    def batch_key(self) -> Hashable:
+        # ``initial_btl_share``/``whi_init_bdp`` only affect ``initial_state``.
+        return (
+            "bbr2",
+            self.params.sigmoid_sharpness,
+            self.params.loss_sharpness,
+            self.params.loss_epsilon,
+        )
+
+    def step_all(self, batch: FlowStateBatch, inputs: FlowInputsBatch) -> None:
+        extras = batch.extras
+        dt = inputs.dt
+        sharp = self.params.sigmoid_sharpness
+        rate_old = batch.rate
+
+        # --- RTprop estimation (Eq. 9) -------------------------------- #
+        tau_min_old = extras["tau_min"]
+        new_min_sample = inputs.tau_delayed < tau_min_old - RTT_SAMPLE_EPS_S
+        tau_min = np.minimum(tau_min_old, inputs.tau_delayed)
+        tau_min_floor = np.maximum(tau_min, 1e-6)
+
+        # --- ProbeRTT state machine (Eq. 11-13) ------------------------ #
+        # Rare transitions (ProbeRTT toggles, period rollovers, fresh
+        # minimum-RTT samples) sit behind ``any()`` guards: an all-False
+        # ``np.where`` is the identity, so skipping it is bit-exact.
+        m_prt_old = extras["m_prt"]
+        in_probe_rtt = m_prt_old >= 0.5
+        any_probe_rtt = in_probe_rtt.any()
+        t_prt = extras["t_prt"] + dt
+        if new_min_sample.any():
+            t_prt = np.where(new_min_sample & ~in_probe_rtt, 0.0, t_prt)
+        if any_probe_rtt:
+            threshold = np.where(
+                in_probe_rtt, PROBE_RTT_DURATION_S, PROBE_RTT_INTERVAL_S
+            )
+            expired = t_prt >= threshold
+        else:
+            expired = t_prt >= PROBE_RTT_INTERVAL_S
+        if expired.any():
+            # ``m_prt`` is exactly 0.0 or 1.0, so the toggle is ``1 - m_prt``.
+            m_prt = np.where(expired, 1.0 - m_prt_old, m_prt_old)
+            t_prt = np.where(expired, 0.0, t_prt)
+            in_probe_rtt = m_prt >= 0.5
+            any_probe_rtt = in_probe_rtt.any()
+        else:
+            m_prt = m_prt_old
+
+        # --- Probing-period clock (Eq. 16, 24) -------------------------- #
+        period = np.minimum(MAX_PERIOD_RTTS * tau_min, extras["period_wall_s"])
+        t_pbw = extras["t_pbw"] + dt
+        rollover = t_pbw >= period
+        if rollover.any():
+            x_max_prev = np.where(rollover, extras["x_max"], extras["x_max_prev"])
+            x_max = np.where(rollover, 0.0, extras["x_max"])
+            t_pbw = np.where(rollover, 0.0, t_pbw)
+            m_crs = np.where(rollover, 0.0, extras["m_crs"])
+        else:
+            x_max_prev = extras["x_max_prev"]
+            x_max = extras["x_max"]
+            m_crs = extras["m_crs"]
+        measurement = rate_old if inputs.literal_xmax else inputs.delivery_rate
+        x_max = np.maximum(x_max, measurement)
+
+        # --- Current estimates and derived windows ---------------------- #
+        x_btl = extras["x_btl"]
+        bdp = x_btl * tau_min
+        w_hi_old = extras["w_hi"]
+        drain_target = np.minimum(bdp, (1.0 - HEADROOM) * w_hi_old)
+        loss = np.minimum(1.0, np.maximum(0.0, inputs.path_loss))
+        inflight_old = batch.inflight
+
+        # --- Mode transitions (Eq. 26-27), crisp ------------------------ #
+        cruising = m_crs >= 0.5
+        draining = extras["m_dwn"] >= 0.5
+        past_first_rtt = t_pbw > tau_min
+        start_drain = (
+            ~cruising
+            & ~draining
+            & past_first_rtt
+            & ((inflight_old > PROBE_INFLIGHT_GAIN * bdp) | (loss > LOSS_THRESHOLD))
+        )
+        draining = draining | start_drain
+        if draining.any():
+            # Eq. (28): while draining, adopt the max delivery rate of the
+            # last two periods as the new bottleneck-bandwidth estimate.
+            target = np.maximum(x_max, x_max_prev)
+            x_btl = np.where(
+                draining & (target > 0.0),
+                x_btl + dt * (target - x_btl) / tau_min_floor,
+                x_btl,
+            )
+            drained = draining & (inflight_old <= drain_target)
+            draining = draining & ~drained
+            cruising = cruising | drained
+            m_crs = np.where(drained, 1.0, m_crs)
+            bdp = x_btl * tau_min
+            drain_target = np.minimum(bdp, (1.0 - HEADROOM) * w_hi_old)
+        # ``m_dwn`` is 1.0 exactly while draining and 0.0 otherwise (flows
+        # with ``m_dwn == 1`` are always in the ``draining`` set).
+        m_dwn = draining.astype(float)
+
+        # --- Gate sigmoids (Eq. 29/30), one stacked evaluation ---------- #
+        n = t_pbw.shape[0]
+        gates = smooth.scaled_sigmoid(
+            np.concatenate(
+                [
+                    (t_pbw - tau_min) * (sharp / tau_min_floor),
+                    (inflight_old - w_hi_old) * (sharp / np.maximum(bdp, 1.0)),
+                    (loss - LOSS_THRESHOLD) * self.params.loss_sharpness,
+                    (loss - self.params.loss_epsilon) * self.params.loss_sharpness,
+                ]
+            )
+        )
+        probe_gate = gates[:n]
+
+        # --- inflight_hi dynamics (Eq. 29) ------------------------------ #
+        growth_gate = (~cruising).astype(float) * probe_gate * gates[n : 2 * n]
+        exponent = np.minimum(t_pbw / tau_min_floor, MAX_GROWTH_EXPONENT)
+        growth = growth_gate * (2.0**exponent)
+        decrease = gates[2 * n : 3 * n] * BETA / tau_min_floor * w_hi_old
+        w_hi = np.maximum(1.0, w_hi_old + dt * (growth - decrease))
+
+        # --- inflight_lo dynamics (Eq. 30) ------------------------------ #
+        w_lo_old = extras["w_lo"]
+        loss_gate = gates[3 * n :]
+        w_lo = np.where(
+            cruising,
+            w_lo_old + dt * (-loss_gate * BETA * w_lo_old / tau_min_floor),
+            w_lo_old + dt * (drain_target - w_lo_old) / tau_min_floor,
+        )
+        w_lo = np.maximum(1.0, w_lo)
+
+        # --- Pacing rate (Eq. 25) --------------------------------------- #
+        pacing = x_btl * (
+            1.0
+            + (PROBE_GAIN - 1.0) * probe_gate * (1.0 - m_dwn)
+            - (1.0 - DRAIN_GAIN) * m_dwn
+        )
+
+        # --- Congestion window and sending rate (Eq. 31-32, 14-15) ------ #
+        bound = np.where(cruising, w_lo, w_hi)
+        cwnd_pbw = np.minimum(CWND_GAIN * bdp, bound)
+        tau = np.maximum(inputs.tau, 1e-9)
+        if any_probe_rtt:
+            cwnd_prt = bdp / 2.0
+            cwnd = np.where(in_probe_rtt, cwnd_prt, cwnd_pbw)
+            rate = np.where(
+                in_probe_rtt, cwnd_prt / tau, np.minimum(cwnd_pbw / tau, pacing)
+            )
+        else:
+            cwnd = cwnd_pbw
+            rate = np.minimum(cwnd_pbw / tau, pacing)
+        inflight = self.update_inflight_all(batch, inputs, rate)
+
+        active = inputs.active
+        if active is None:
+            extras["tau_min"] = tau_min
+            extras["m_prt"] = m_prt
+            extras["t_prt"] = t_prt
+            extras["t_pbw"] = t_pbw
+            extras["x_btl"] = x_btl
+            extras["x_max"] = x_max
+            extras["x_max_prev"] = x_max_prev
+            extras["m_dwn"] = m_dwn
+            extras["m_crs"] = m_crs
+            extras["w_hi"] = w_hi
+            extras["w_lo"] = w_lo
+            extras["cwnd"] = cwnd
+            batch.rate = rate
+            batch.inflight = inflight
+        else:
+            for key, value in (
+                ("tau_min", tau_min),
+                ("m_prt", m_prt),
+                ("t_prt", t_prt),
+                ("t_pbw", t_pbw),
+                ("x_btl", x_btl),
+                ("x_max", x_max),
+                ("x_max_prev", x_max_prev),
+                ("m_dwn", m_dwn),
+                ("m_crs", m_crs),
+                ("w_hi", w_hi),
+                ("w_lo", w_lo),
+                ("cwnd", cwnd),
+            ):
+                extras[key] = np.where(active, value, extras[key])
+            batch.rate = np.where(active, rate, 0.0)
+            batch.inflight = np.where(active, inflight, batch.inflight)
+
+    def congestion_window_all(self, batch: FlowStateBatch) -> np.ndarray:
+        return batch.extras["cwnd"]
+
+    def trace_fields_all(self, batch: FlowStateBatch) -> dict[str, np.ndarray]:
+        extras = batch.extras
+        return {
+            "x_btl": extras["x_btl"],
+            "x_max": extras["x_max"],
+            "tau_min": extras["tau_min"],
+            "cwnd": extras["cwnd"],
+            "w_hi": extras["w_hi"],
+            "w_lo": extras["w_lo"],
+            "m_prt": extras["m_prt"],
+            "m_dwn": extras["m_dwn"],
+            "m_crs": extras["m_crs"],
+            "t_pbw": extras["t_pbw"],
+        }
 
     def congestion_window(self, state: FlowState) -> float:
         return state.extra["cwnd"]

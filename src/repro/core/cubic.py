@@ -15,9 +15,11 @@ The congestion window is then given by the CUBIC window-growth function
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Hashable
 
-from .flow import FlowInputs, FlowState, FluidCCA
+import numpy as np
+
+from .flow import FlowInputs, FlowInputsBatch, FlowState, FlowStateBatch, FluidCCA
 from .network import Network
 
 #: CUBIC growth constant ``c`` (RFC 8312 / Linux tcp_cubic).
@@ -28,13 +30,22 @@ CUBIC_BETA: float = 0.7
 MIN_WINDOW_PKTS: float = 1.0
 
 
-def cubic_window(s: float, w_max: float, c: float = CUBIC_C, beta: float = CUBIC_BETA) -> float:
+def cubic_window(
+    s: float | np.ndarray,
+    w_max: float | np.ndarray,
+    c: float = CUBIC_C,
+    beta: float = CUBIC_BETA,
+) -> float | np.ndarray:
     """CUBIC window-growth function ``w(s) = c (s - K)^3 + w_max`` (Eq. 41).
 
     ``K = (w_max * b / c)^(1/3)`` is the time at which the window returns to
-    the pre-loss level ``w_max`` when growing from ``b * w_max``.
+    the pre-loss level ``w_max`` when growing from ``b * w_max``.  Accepts
+    scalars or arrays (element-wise, for the batched model path).
     """
-    if w_max < 0:
+    if np.ndim(w_max) == 0:
+        if w_max < 0:
+            raise ValueError("w_max must be non-negative")
+    elif np.any(np.asarray(w_max) < 0):
         raise ValueError("w_max must be non-negative")
     inflection = (w_max * beta / c) ** (1.0 / 3.0)
     return c * (s - inflection) ** 3 + w_max
@@ -85,3 +96,42 @@ class CubicFluid(FluidCCA):
 
     def congestion_window(self, state: FlowState) -> float:
         return state.extra["cwnd"]
+
+    # ------------------------------------------------------------------ #
+    # Batched path
+    # ------------------------------------------------------------------ #
+
+    def batch_key(self) -> Hashable:
+        # ``step`` reads no instance attributes, so all CUBIC flows batch
+        # together regardless of their initial window.
+        return ("cubic",)
+
+    def step_all(self, batch: FlowStateBatch, inputs: FlowInputsBatch) -> None:
+        extras = batch.extras
+        s = extras["s"]
+        w_max = extras["w_max"]
+        w = extras["cwnd"]
+        x_delayed = inputs.rate_delayed
+        p = np.minimum(1.0, np.maximum(0.0, inputs.path_loss))
+        loss_rate = x_delayed * p
+        # Eq. (40a/40b) and Eq. (41), element-wise over every CUBIC flow.
+        s_new = np.maximum(0.0, s + inputs.dt * (1.0 - s * loss_rate))
+        w_max_new = np.maximum(
+            MIN_WINDOW_PKTS, w_max + inputs.dt * (w - w_max) * loss_rate
+        )
+        w_new = np.maximum(MIN_WINDOW_PKTS, cubic_window(s_new, w_max_new))
+        rate = w_new / np.maximum(inputs.tau, 1e-9)
+        inflight = self.update_inflight_all(batch, inputs, rate)
+        active = inputs.active
+        if active is None:
+            extras["s"] = s_new
+            extras["w_max"] = w_max_new
+            extras["cwnd"] = w_new
+            batch.rate = rate
+            batch.inflight = inflight
+        else:
+            extras["s"] = np.where(active, s_new, s)
+            extras["w_max"] = np.where(active, w_max_new, w_max)
+            extras["cwnd"] = np.where(active, w_new, w)
+            batch.rate = np.where(active, rate, 0.0)
+            batch.inflight = np.where(active, inflight, batch.inflight)

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Hashable, Sequence
+
+import numpy as np
 
 from .network import Network
 
@@ -51,6 +53,45 @@ class FlowInputs:
     propagation_rtt: float
     active: bool = True
     literal_xmax: bool = False
+
+
+@dataclass
+class FlowInputsBatch:
+    """Array-valued :class:`FlowInputs` for the batched ``step_all`` path.
+
+    Every array has one entry per flow of the batch, in batch order.
+    ``active`` is ``None`` when every flow of the batch has started (the
+    common case after the last start time), which lets implementations skip
+    the masked writes entirely.
+    """
+
+    t: float
+    dt: float
+    tau: np.ndarray
+    tau_delayed: np.ndarray
+    path_loss: np.ndarray
+    delivery_rate: np.ndarray
+    rate_delayed: np.ndarray
+    propagation_rtt: np.ndarray
+    active: np.ndarray | None = None
+    literal_xmax: bool = False
+
+
+@dataclass
+class FlowStateBatch:
+    """Structure-of-arrays view of the states of one batch of flows.
+
+    Mirrors :class:`FlowState`: ``rate``/``inflight`` are ``(n,)`` arrays
+    and ``extras`` maps each model-specific key to an ``(n,)`` array.
+    """
+
+    rate: np.ndarray
+    inflight: np.ndarray
+    extras: dict[str, np.ndarray]
+
+    @property
+    def size(self) -> int:
+        return int(self.rate.shape[0])
 
 
 @dataclass
@@ -97,4 +138,64 @@ class FluidCCA(abc.ABC):
         """Integrate the inflight volume ``dv/dt = x - x_dlv`` (Eq. 19)."""
         state.inflight = max(
             0.0, state.inflight + inputs.dt * (state.rate - inputs.delivery_rate)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Optional batched path (structure-of-arrays, one call per step for
+    # all same-CCA flows).  Models that do not override ``batch_key`` are
+    # stepped one flow at a time through ``step`` — arbitrary heterogeneous
+    # mixes and custom models keep working unchanged.
+    # ------------------------------------------------------------------ #
+
+    def batch_key(self) -> Hashable | None:
+        """Grouping key for the batched path, or ``None`` if unsupported.
+
+        Flows whose models return the same non-``None`` key are stepped
+        together through :meth:`step_all`.  The key must therefore capture
+        every model parameter that influences :meth:`step`.
+        """
+        return None
+
+    def make_batch(self, states: Sequence[FlowState]) -> FlowStateBatch:
+        """Pack per-flow states into arrays (called once before the run)."""
+        keys = list(states[0].extra)
+        return FlowStateBatch(
+            rate=np.array([s.rate for s in states], dtype=float),
+            inflight=np.array([s.inflight for s in states], dtype=float),
+            extras={
+                key: np.array([s.extra[key] for s in states], dtype=float)
+                for key in keys
+            },
+        )
+
+    def write_back(self, batch: FlowStateBatch, states: Sequence[FlowState]) -> None:
+        """Unpack batch arrays into the per-flow state objects."""
+        for i, state in enumerate(states):
+            state.rate = float(batch.rate[i])
+            state.inflight = float(batch.inflight[i])
+            for key, values in batch.extras.items():
+                state.extra[key] = float(values[i])
+
+    def step_all(self, batch: FlowStateBatch, inputs: FlowInputsBatch) -> None:
+        """Advance all flows of the batch by one step (vectorized ``step``)."""
+        raise NotImplementedError(f"{type(self).__name__} has no batched step")
+
+    def congestion_window_all(self, batch: FlowStateBatch) -> np.ndarray:
+        """Batched :meth:`congestion_window` (for trace recording)."""
+        cwnd = batch.extras.get("cwnd")
+        if cwnd is None:
+            return np.zeros(batch.size)
+        return cwnd
+
+    def trace_fields_all(self, batch: FlowStateBatch) -> dict[str, np.ndarray]:
+        """Batched :meth:`trace_fields`: model-specific arrays worth recording."""
+        return dict(batch.extras)
+
+    @staticmethod
+    def update_inflight_all(
+        batch: FlowStateBatch, inputs: FlowInputsBatch, rate: np.ndarray
+    ) -> np.ndarray:
+        """Batched Eq. (19) integration; returns the candidate new inflight."""
+        return np.maximum(
+            0.0, batch.inflight + inputs.dt * (rate - inputs.delivery_rate)
         )

@@ -11,6 +11,11 @@ reading it back at a fixed lag.
 :class:`SignalHistory` stores a scalar signal on the integrator's uniform
 time grid; :class:`VectorHistory` stores one signal per flow (or per link)
 in a single numpy array for efficiency.
+
+Because every delay of a scenario is a *constant*, the vectorized simulator
+converts them to integer lag tables once (:meth:`VectorHistory.lag_steps`)
+and then performs one batched :meth:`VectorHistory.gather` per signal per
+step instead of per-component Python calls.
 """
 
 from __future__ import annotations
@@ -116,6 +121,52 @@ class VectorHistory:
         lags = np.minimum(lags, min(self._steps, self._size - 1))
         rows = (self._head - lags) % self._size
         return self._buffer[rows, np.arange(self.width)].copy()
+
+    # ------------------------------------------------------------------ #
+    # Batched fixed-lag API (hot path of the vectorized simulator)
+    # ------------------------------------------------------------------ #
+
+    def lag_steps(self, delays: np.ndarray | float) -> np.ndarray:
+        """Convert constant delays (seconds) into an integer lag table.
+
+        The result can be passed to :meth:`gather` every step without
+        re-doing the rounding and validation.  Delays are rounded to the
+        nearest grid step, exactly as :meth:`at_delay` does.
+        """
+        delays = np.atleast_1d(np.asarray(delays, dtype=float))
+        if np.any(delays < 0):
+            raise ValueError("delays must be non-negative")
+        lags = np.rint(delays / self.dt).astype(np.intp)
+        if np.any(lags > self._size - 1):
+            raise ValueError("delay exceeds the recorded history window")
+        return lags
+
+    def gather(self, indices: np.ndarray, lags: np.ndarray) -> np.ndarray:
+        """Batched lookup: component ``indices[k]`` read ``lags[k]`` steps back.
+
+        ``lags`` must come from :meth:`lag_steps` (pre-validated integer
+        steps).  Lookups beyond the recorded history are clamped to the
+        oldest sample, matching :meth:`at_delay`.
+        """
+        if self._steps < self._size - 1:
+            lags = np.minimum(lags, self._steps)
+        # Negative row indices wrap to the end of the buffer, which is
+        # exactly the circular layout, so no modulo is needed.
+        return self._buffer[self._head - lags, indices]
+
+    def advance(self) -> np.ndarray:
+        """Advance the write head one step and return the new row to fill.
+
+        In-place alternative to :meth:`push` for hot loops: callers write
+        the current sample directly into the returned row view, skipping
+        one array copy per step.
+        """
+        head = self._head + 1
+        if head == self._size:
+            head = 0
+        self._head = head
+        self._steps += 1
+        return self._buffer[head]
 
     @property
     def current(self) -> np.ndarray:

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from . import smooth
 
 
@@ -125,3 +127,51 @@ def step_queue(
     if math.isinf(buffer_size):
         return max(0.0, new_queue)
     return float(min(buffer_size, max(0.0, new_queue)))
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized variants (one entry per queued link) used by the batched
+# simulator hot loop.  They mirror the scalar functions operation for
+# operation so that both integration paths produce identical traces.
+# ---------------------------------------------------------------------- #
+
+
+def droptail_loss_vec(
+    arrival_rate: np.ndarray,
+    capacity: np.ndarray,
+    queue: np.ndarray,
+    buffer_size: np.ndarray,
+    sharpness: float = smooth.DEFAULT_SHARPNESS,
+    exponent: float = 20.0,
+) -> np.ndarray:
+    """Element-wise :func:`droptail_loss` over all queued links at once."""
+    positive = arrival_rate > 0.0
+    arrival_safe = np.where(positive, arrival_rate, 1.0)
+    gate = smooth.scaled_sigmoid((arrival_rate - capacity) / capacity * sharpness)
+    excess = np.maximum(0.0, 1.0 - capacity / arrival_safe)
+    occupancy = np.minimum(1.0, queue / buffer_size) ** exponent
+    loss = np.minimum(1.0, gate * excess * occupancy)
+    return np.where(positive & np.isfinite(buffer_size), loss, 0.0)
+
+
+def red_loss_vec(queue: np.ndarray, buffer_size: np.ndarray) -> np.ndarray:
+    """Element-wise :func:`red_loss`; infinite buffers yield zero loss."""
+    return np.where(
+        np.isfinite(buffer_size), np.minimum(1.0, queue / buffer_size), 0.0
+    )
+
+
+def step_queue_vec(
+    queue: np.ndarray,
+    arrival_rate: np.ndarray,
+    capacity: np.ndarray,
+    loss: np.ndarray,
+    buffer_size: np.ndarray,
+    dt: float,
+) -> np.ndarray:
+    """Element-wise :func:`step_queue` (Eq. 2 with reflecting boundaries)."""
+    rate = (1.0 - loss) * arrival_rate - capacity
+    rate = np.where((queue <= 0.0) & (rate < 0.0), 0.0, rate)
+    rate = np.where((queue >= buffer_size) & (rate > 0.0), 0.0, rate)
+    new_queue = queue + dt * rate
+    return np.minimum(buffer_size, np.maximum(0.0, new_queue))

@@ -14,9 +14,11 @@ window.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Hashable
 
-from .flow import FlowInputs, FlowState, FluidCCA
+import numpy as np
+
+from .flow import FlowInputs, FlowInputsBatch, FlowState, FlowStateBatch, FluidCCA
 from .network import Network
 
 #: Smallest congestion window the fluid model maintains, in packets.  The
@@ -60,3 +62,32 @@ class RenoFluid(FluidCCA):
 
     def congestion_window(self, state: FlowState) -> float:
         return state.extra["cwnd"]
+
+    # ------------------------------------------------------------------ #
+    # Batched path
+    # ------------------------------------------------------------------ #
+
+    def batch_key(self) -> Hashable:
+        # ``step`` reads no instance attributes, so all Reno flows batch
+        # together regardless of their initial window.
+        return ("reno",)
+
+    def step_all(self, batch: FlowStateBatch, inputs: FlowInputsBatch) -> None:
+        w = batch.extras["cwnd"]
+        x_delayed = inputs.rate_delayed
+        p = np.minimum(1.0, np.maximum(0.0, inputs.path_loss))
+        # Eq. (39), element-wise over every Reno flow at once.
+        growth = x_delayed * (1.0 - p) / np.maximum(w, MIN_WINDOW_PKTS)
+        decrease = x_delayed * p * w / 2.0
+        w_new = np.maximum(MIN_WINDOW_PKTS, w + inputs.dt * (growth - decrease))
+        rate = w_new / np.maximum(inputs.tau, 1e-9)
+        inflight = self.update_inflight_all(batch, inputs, rate)
+        active = inputs.active
+        if active is None:
+            batch.extras["cwnd"] = w_new
+            batch.rate = rate
+            batch.inflight = inflight
+        else:
+            batch.extras["cwnd"] = np.where(active, w_new, w)
+            batch.rate = np.where(active, rate, 0.0)
+            batch.inflight = np.where(active, inflight, batch.inflight)

@@ -86,11 +86,17 @@ class Bbr1Packet(PacketCCA):
     def _update_btlbw(self, sample: AckSample) -> None:
         if sample.delivery_rate <= 0:
             return
-        self._bw_samples.append((self._round, sample.delivery_rate))
+        # Monotonic deque: rates decrease from left to right, so the head is
+        # always the windowed maximum (O(1) amortised per ACK instead of a
+        # full window re-scan — this is the emulator's hottest code path).
+        samples = self._bw_samples
+        while samples and samples[-1][1] <= sample.delivery_rate:
+            samples.pop()
+        samples.append((self._round, sample.delivery_rate))
         horizon = self._round - BW_WINDOW_ROUNDS
-        while self._bw_samples and self._bw_samples[0][0] < horizon:
-            self._bw_samples.popleft()
-        self.btlbw_pps = max(rate for _, rate in self._bw_samples)
+        while samples[0][0] < horizon:
+            samples.popleft()
+        self.btlbw_pps = samples[0][1]
 
     def _update_rtprop(self, sample: AckSample) -> None:
         if not self._rtprop_valid or sample.rtt <= self.rtprop_s:

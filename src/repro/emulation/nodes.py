@@ -140,8 +140,17 @@ class Sender:
         del self.inflight[packet.seq]
         self.delivered_count += 1
 
-        # FIFO network: every unacknowledged packet sent before this one is lost.
-        lost_seqs = tuple(seq for seq in self.inflight if seq < packet.seq)
+        # FIFO network: every unacknowledged packet sent before this one is
+        # lost.  Packets enter ``inflight`` in strictly increasing sequence
+        # order and dict iteration preserves insertion order, so the lost
+        # packets form a prefix — stop at the first seq past the ACK instead
+        # of scanning the whole window on every acknowledgement.
+        lost: list[int] = []
+        for seq in self.inflight:
+            if seq >= packet.seq:
+                break
+            lost.append(seq)
+        lost_seqs = tuple(lost)
         rtt = now - packet.sent_time
         self.last_rtt_s = rtt
         self.srtt_s = rtt if self.srtt_s is None else 0.875 * self.srtt_s + 0.125 * rtt

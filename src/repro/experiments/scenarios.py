@@ -49,16 +49,23 @@ def trace_validation_scenario(
 
     One sender, 100 Mbps bottleneck with 10 ms delay, 5.6 ms access link
     (i.e. a 31.2 ms propagation RTT) and a 1 BDP drop-tail or RED buffer.
+    As in the aggregate scenarios, the loss-based initial window is set to
+    the BDP: the fluid models have no slow-start phase (Insight 9), so the
+    flow starts in the state slow start would leave behind — otherwise a
+    short trace spends most of its duration on CUBIC/Reno window regrowth
+    that the real protocol performs in a few hundred milliseconds.
     """
+    rtt_s = 0.0312
+    bdp_pkts = 100.0e6 / (1500 * 8) * rtt_s
     return dumbbell_scenario(
         [cca],
         capacity_mbps=100.0,
         bottleneck_delay_s=0.010,
-        rtt_range_s=(0.0312, 0.0312),
+        rtt_range_s=(rtt_s, rtt_s),
         buffer_bdp=buffer_bdp,
         discipline=discipline,
         duration_s=duration_s,
-        fluid=FluidParams(dt=dt),
+        fluid=FluidParams(dt=dt, loss_based_init_window_pkts=max(10.0, bdp_pkts)),
     )
 
 

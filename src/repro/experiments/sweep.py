@@ -5,19 +5,35 @@ on a chosen substrate ("fluid" or "emulation"), computes the aggregate
 metrics of :mod:`repro.metrics.aggregate`, and returns tidy rows.  Because
 the five aggregate figures of the paper all derive from the *same* runs,
 sweep results are cached in-process keyed by their configuration.
+
+The grid is embarrassingly parallel and is exploited two ways:
+
+* on the fluid substrate, all uncached points of a sweep are integrated in
+  lockstep through :func:`repro.core.simulator.simulate_many`, which stacks
+  the independent scenarios into one batched system (the big win on a
+  single core), and
+* ``workers=N`` opts into a :class:`~concurrent.futures.ProcessPoolExecutor`
+  that fans uncached points out to worker processes (useful on multi-core
+  machines and for the emulation substrate).  The in-process cache is
+  consulted before any dispatch.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
-from ..core.simulator import simulate
+from ..core.simulator import simulate, simulate_many
 from ..emulation.runner import emulate
 from ..metrics.aggregate import AggregateMetrics, aggregate_metrics
 from . import scenarios
 
 SUBSTRATES = ("fluid", "emulation")
+
+#: Upper bound on how many scenarios are stacked into one batched
+#: integration (bounds the working-set memory of the recording buffers).
+BATCH_CHUNK = 64
 
 
 @dataclass(frozen=True)
@@ -50,6 +66,19 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _cache_key(
+    mix: str,
+    buffer_bdp: float,
+    discipline: str,
+    substrate: str,
+    short_rtt: bool,
+    duration_s: float,
+    dt: float,
+    whi_init_bdp: float | None,
+) -> tuple:
+    return (mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp)
+
+
 def run_point(
     mix: str,
     buffer_bdp: float,
@@ -64,7 +93,9 @@ def run_point(
     """Run (or fetch from cache) a single sweep point."""
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
-    key = (mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp)
+    key = _cache_key(
+        mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp
+    )
     if use_cache and key in _CACHE:
         return _CACHE[key]
     config = scenarios.aggregate_scenario(
@@ -98,17 +129,47 @@ def run_sweep(
     duration_s: float = 5.0,
     dt: float = scenarios.SWEEP_DT,
     whi_init_bdp: float | None = None,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
-    """Run the full (or a reduced) aggregate-validation sweep."""
+    """Run the full (or a reduced) aggregate-validation sweep.
+
+    ``workers=N`` (N > 1) dispatches uncached points to a process pool;
+    otherwise fluid sweeps run batched in-process via
+    :func:`~repro.core.simulator.simulate_many` and emulation sweeps run
+    serially.  Cached points are never re-dispatched.
+    """
+    if substrate not in SUBSTRATES:
+        raise ValueError(f"unknown substrate {substrate!r}")
     mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
     buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
     disciplines = list(disciplines) if disciplines is not None else list(scenarios.DISCIPLINES)
-    points = []
-    for discipline in disciplines:
-        for mix in mixes:
-            for buffer_bdp in buffers:
-                points.append(
-                    run_point(
+    combos = [
+        (discipline, mix, buffer_bdp)
+        for discipline in disciplines
+        for mix in mixes
+        for buffer_bdp in buffers
+    ]
+
+    results: dict[tuple, SweepPoint] = {}
+    pending: list[tuple] = []
+    for combo in combos:
+        discipline, mix, buffer_bdp = combo
+        key = _cache_key(
+            mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp
+        )
+        if key in _CACHE:
+            results[combo] = _CACHE[key]
+        else:
+            pending.append(combo)
+
+    if pending and workers is not None and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for combo in pending:
+                discipline, mix, buffer_bdp = combo
+                futures[
+                    pool.submit(
+                        run_point,
                         mix,
                         buffer_bdp,
                         discipline,
@@ -117,9 +178,57 @@ def run_sweep(
                         duration_s=duration_s,
                         dt=dt,
                         whi_init_bdp=whi_init_bdp,
+                        use_cache=False,
                     )
+                ] = combo
+            for future, combo in futures.items():
+                results[combo] = future.result()
+    elif pending and substrate == "fluid":
+        for chunk_start in range(0, len(pending), BATCH_CHUNK):
+            chunk = pending[chunk_start : chunk_start + BATCH_CHUNK]
+            configs = [
+                scenarios.aggregate_scenario(
+                    mix,
+                    buffer_bdp=buffer_bdp,
+                    discipline=discipline,
+                    short_rtt=short_rtt,
+                    duration_s=duration_s,
+                    dt=dt,
+                    whi_init_bdp=whi_init_bdp,
                 )
-    return points
+                for discipline, mix, buffer_bdp in chunk
+            ]
+            for combo, trace in zip(chunk, simulate_many(configs)):
+                discipline, mix, buffer_bdp = combo
+                results[combo] = SweepPoint(
+                    mix=mix,
+                    buffer_bdp=buffer_bdp,
+                    discipline=discipline,
+                    substrate=substrate,
+                    metrics=aggregate_metrics(trace),
+                )
+    else:
+        for combo in pending:
+            discipline, mix, buffer_bdp = combo
+            results[combo] = run_point(
+                mix,
+                buffer_bdp,
+                discipline,
+                substrate=substrate,
+                short_rtt=short_rtt,
+                duration_s=duration_s,
+                dt=dt,
+                whi_init_bdp=whi_init_bdp,
+                use_cache=False,
+            )
+
+    for combo, point in results.items():
+        discipline, mix, buffer_bdp = combo
+        key = _cache_key(
+            mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp
+        )
+        _CACHE[key] = point
+    return [results[combo] for combo in combos]
 
 
 def series(

@@ -7,10 +7,16 @@ obtained from 5-second traces.  The index is
 
 and lies in ``[1/N, 1]``: 1 for a perfectly equal allocation, ``1/N`` when a
 single flow monopolises the bottleneck.
+
+The index is scale-invariant, which the implementation exploits for
+numerical robustness: allocations are normalised by their maximum before
+squaring, so denormal inputs (whose squares underflow to zero) and huge
+inputs (whose squares overflow to ``inf``) are both handled exactly.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 
 import numpy as np
@@ -19,24 +25,43 @@ from .traces import Trace
 
 
 def jain_index(allocations: Sequence[float]) -> float:
-    """Jain's fairness index of a list of non-negative allocations."""
+    """Jain's fairness index of a list of non-negative allocations.
+
+    Scale-invariance is used to keep the computation in a safe floating
+    point range: values are divided by their maximum before squaring, so
+    denormal allocations (``x**2 == 0`` while ``sum(x) > 0``) no longer
+    divide by zero and huge allocations no longer overflow.  Infinite
+    allocations are handled as the limit of finite ones growing without
+    bound: the ``k`` infinite flows share equally and the finite ones
+    vanish, giving ``k / N``.
+    """
     values = np.asarray(list(allocations), dtype=float)
     if values.size == 0:
         raise ValueError("fairness of an empty allocation is undefined")
+    if np.any(np.isnan(values)):
+        raise ValueError("allocations must not be NaN")
     if np.any(values < 0):
         raise ValueError("allocations must be non-negative")
-    total = float(np.sum(values))
-    if total == 0:
+    if np.any(np.isinf(values)):
+        infinite = int(np.count_nonzero(np.isinf(values)))
+        return infinite / values.size
+    peak = float(np.max(values))
+    if peak == 0.0:
         # No flow got anything: conventionally perfectly fair.
         return 1.0
-    return float(total**2 / (values.size * float(np.sum(values**2))))
+    scaled = values / peak  # largest entry is exactly 1.0
+    total = float(np.sum(scaled))
+    square_sum = float(np.sum(scaled * scaled))  # >= 1.0 by construction
+    return float(total * total / (values.size * square_sum))
 
 
 def trace_fairness(trace: Trace, use_goodput: bool = True) -> float:
     """Jain fairness of a trace, computed over per-flow mean rates.
 
     ``use_goodput`` selects the delivery rate (what the paper's iPerf
-    measurements report); otherwise the raw sending rate is used.
+    measurements report); otherwise the raw sending rate is used.  Traces
+    with arbitrarily tiny (denormal) or huge per-flow means are safe: the
+    underlying :func:`jain_index` is scale-invariant.
     """
     if use_goodput:
         allocations = [flow.mean_goodput() for flow in trace.flows]
@@ -50,11 +75,22 @@ def per_cca_share(trace: Trace) -> dict[str, float]:
 
     Useful for inter-CCA fairness statements such as Insight 2 (BBRv1
     starves loss-based CCAs): the share of e.g. all Reno flows combined.
+    Like :func:`jain_index`, the computation normalises by the largest
+    per-CCA total first so that denormal goodputs do not lose their ratio
+    and huge goodputs do not overflow the grand total to ``inf``.
     """
     totals: dict[str, float] = {}
     for flow in trace.flows:
         totals[flow.cca] = totals.get(flow.cca, 0.0) + flow.mean_goodput()
-    grand_total = sum(totals.values())
-    if grand_total == 0:
+    if not totals:
+        return {}
+    peak = max(totals.values())
+    if peak == 0.0:
         return {cca: 0.0 for cca in totals}
-    return {cca: value / grand_total for cca, value in totals.items()}
+    if math.isinf(peak):
+        infinite = [cca for cca, value in totals.items() if math.isinf(value)]
+        share = 1.0 / len(infinite)
+        return {cca: (share if math.isinf(value) else 0.0) for cca, value in totals.items()}
+    scaled = {cca: value / peak for cca, value in totals.items()}
+    grand_total = sum(scaled.values())  # in [1, num_ccas]: safe divisor
+    return {cca: value / grand_total for cca, value in scaled.items()}

@@ -98,6 +98,57 @@ class TestSweep:
         assert row["mix"] == "BBRv1"
         assert "jain_fairness" in row
 
+    def test_batched_sweep_matches_per_point_runs(self):
+        kwargs = dict(
+            mixes=["BBRv1", "BBRv1/RENO"],
+            buffers_bdp=[1.0, 4.0],
+            disciplines=["droptail", "red"],
+            **self.fast_kwargs(),
+        )
+        batched = sweep.run_sweep(**kwargs)
+        for point in batched:
+            reference = sweep.run_point(
+                point.mix,
+                point.buffer_bdp,
+                point.discipline,
+                use_cache=False,
+                **self.fast_kwargs(),
+            )
+            for key, value in reference.metrics.as_dict().items():
+                assert point.metrics.as_dict()[key] == pytest.approx(value, rel=1e-9)
+
+    def test_run_sweep_serves_cached_points_before_dispatch(self):
+        cached = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+        points = sweep.run_sweep(
+            mixes=["BBRv1"], buffers_bdp=[1.0], disciplines=["droptail"], **self.fast_kwargs()
+        )
+        assert points[0] is cached
+
+    def test_run_sweep_populates_cache(self):
+        sweep.run_sweep(
+            mixes=["BBRv1"], buffers_bdp=[1.0], disciplines=["droptail"], **self.fast_kwargs()
+        )
+        again = sweep.run_sweep(
+            mixes=["BBRv1"], buffers_bdp=[1.0], disciplines=["droptail"], **self.fast_kwargs()
+        )
+        assert again[0] is sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
+
+    def test_workers_path_matches_serial(self):
+        serial = sweep.run_sweep(
+            mixes=["BBRv1"], buffers_bdp=[1.0], disciplines=["droptail"], **self.fast_kwargs()
+        )
+        sweep.clear_cache()
+        parallel = sweep.run_sweep(
+            mixes=["BBRv1"],
+            buffers_bdp=[1.0],
+            disciplines=["droptail"],
+            workers=2,
+            **self.fast_kwargs(),
+        )
+        assert len(parallel) == len(serial) == 1
+        for key, value in serial[0].metrics.as_dict().items():
+            assert parallel[0].metrics.as_dict()[key] == pytest.approx(value, rel=1e-9)
+
 
 class TestFigures:
     def test_theorem_table_rows(self):

@@ -84,6 +84,71 @@ class TestVectorHistory:
         with pytest.raises(ValueError):
             history.at_delays(np.array([-0.1, 0.0]))
 
+    def test_lag_steps_rounds_to_grid(self):
+        history = VectorHistory(width=2, dt=0.1, max_delay=1.0)
+        np.testing.assert_array_equal(
+            history.lag_steps(np.array([0.0, 0.31])), [0, 3]
+        )
+
+    def test_lag_steps_validation(self):
+        history = VectorHistory(width=2, dt=0.1, max_delay=0.5)
+        with pytest.raises(ValueError):
+            history.lag_steps(np.array([-0.1]))
+        with pytest.raises(ValueError):
+            history.lag_steps(np.array([100.0]))
+
+    def test_gather_matches_at_delay(self):
+        history = VectorHistory(width=3, dt=0.1, max_delay=1.0)
+        for step in range(25):
+            history.push(np.array([step, 10 * step, 100 * step], dtype=float))
+        delays = np.array([0.0, 0.2, 0.7])
+        indices = np.arange(3, dtype=np.intp)
+        lags = history.lag_steps(delays)
+        gathered = history.gather(indices, lags)
+        expected = [history.at_delay(i, d) for i, d in zip(indices, delays)]
+        np.testing.assert_allclose(gathered, expected)
+
+    def test_gather_clamps_to_recorded_history(self):
+        history = VectorHistory(width=2, dt=0.1, max_delay=1.0, initial=7.0)
+        history.push(np.array([1.0, 2.0]))
+        lags = history.lag_steps(np.array([0.9, 0.0]))
+        gathered = history.gather(np.array([0, 1], dtype=np.intp), lags)
+        # Clamping matches at_delay: beyond the single recorded sample the
+        # lookup falls back to the initial (pre-history) value.
+        assert gathered[0] == history.at_delay(0, 0.9) == pytest.approx(7.0)
+        assert gathered[1] == history.at_delay(1, 0.0) == pytest.approx(2.0)
+
+    def test_gather_arbitrary_component_order(self):
+        history = VectorHistory(width=3, dt=0.1, max_delay=1.0)
+        for step in range(15):
+            history.push(np.array([step, 10 * step, 100 * step], dtype=float))
+        indices = np.array([2, 2, 0], dtype=np.intp)
+        lags = history.lag_steps(np.array([0.0, 0.3, 0.1]))
+        np.testing.assert_allclose(
+            history.gather(indices, lags), [1400.0, 1100.0, 13.0]
+        )
+
+    def test_advance_writes_in_place(self):
+        history = VectorHistory(width=2, dt=0.1, max_delay=0.3)
+        row = history.advance()
+        row[:] = [3.0, 4.0]
+        np.testing.assert_allclose(history.current, [3.0, 4.0])
+        np.testing.assert_allclose(history.vector_at_delay(0.0), [3.0, 4.0])
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_gather_always_matches_at_delay(self, width, steps):
+        history = VectorHistory(width=width, dt=0.01, max_delay=0.2)
+        for step in range(steps):
+            history.push(np.arange(width, dtype=float) + step)
+        delays = np.linspace(0.0, 0.2, width)
+        indices = np.arange(width, dtype=np.intp)
+        gathered = history.gather(indices, history.lag_steps(delays))
+        expected = [history.at_delay(i, d) for i, d in zip(indices, delays)]
+        np.testing.assert_allclose(gathered, expected)
+
     @given(
         st.integers(min_value=1, max_value=5),
         st.integers(min_value=1, max_value=50),

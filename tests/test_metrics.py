@@ -88,6 +88,51 @@ class TestJainIndex:
             jain_index([scale * a for a in allocations]), rel=1e-6
         )
 
+    def test_denormal_allocation_regression(self):
+        # Regression: values**2 underflows to 0 while the sum does not,
+        # which used to raise ZeroDivisionError.
+        assert jain_index([1.47e-282]) == pytest.approx(1.0)
+        assert jain_index([5e-324, 5e-324]) == pytest.approx(1.0)
+
+    def test_huge_allocations_do_not_overflow(self):
+        # values**2 == inf for anything above ~1.3e154.
+        assert jain_index([1e300, 1e300]) == pytest.approx(1.0)
+        assert jain_index([1e308, 0.0]) == pytest.approx(0.5)
+
+    def test_mixed_magnitudes(self):
+        # A denormal flow next to a huge one: the tiny flow is starved.
+        assert jain_index([1e-320, 1e300]) == pytest.approx(0.5)
+
+    def test_infinite_allocations_take_the_limit(self):
+        assert jain_index([np.inf, 1.0]) == pytest.approx(0.5)
+        assert jain_index([np.inf, np.inf]) == pytest.approx(1.0)
+        assert jain_index([np.inf, np.inf, 0.0, 5.0]) == pytest.approx(0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([np.nan, 1.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e308, allow_subnormal=True),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_bounds_extreme_magnitudes(self, allocations):
+        value = jain_index(allocations)
+        assert np.isfinite(value)
+        assert 1.0 / len(allocations) - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=1e-320, max_value=1e-280), min_size=2, max_size=10),
+    )
+    def test_denormal_lists_match_rescaled(self, allocations):
+        # Scaling a denormal allocation into a normal range must not change
+        # the index (up to the precision lost by the denormals themselves).
+        scaled = [a * 1e290 for a in allocations]
+        assert jain_index(allocations) == pytest.approx(jain_index(scaled), rel=1e-3)
+
 
 class TestTraceMetrics:
     def test_fairness_from_trace(self):
@@ -103,6 +148,48 @@ class TestTraceMetrics:
         shares = per_cca_share(trace)
         assert sum(shares.values()) == pytest.approx(1.0)
         assert shares["reno"] == pytest.approx(0.75)
+
+    def test_tiny_goodput_trace_fairness(self):
+        # Denormal goodputs must neither crash nor produce NaN.
+        trace = make_trace([1.47e-282, 1.47e-282])
+        assert trace_fairness(trace) == pytest.approx(1.0)
+        trace = make_trace([1e-320, 2e-320, 4e-320])
+        value = trace_fairness(trace)
+        assert np.isfinite(value)
+        assert 1.0 / 3.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    def test_huge_goodput_trace_fairness(self):
+        trace = make_trace([1e300, 1e300, 1e300, 1e300])
+        assert trace_fairness(trace) == pytest.approx(1.0)
+
+    def test_per_cca_share_denormal_goodputs(self):
+        shares = per_cca_share(make_trace([1e-320, 1e-320]))
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["reno"] == pytest.approx(0.5)
+
+    def test_per_cca_share_huge_goodputs(self):
+        # Totals overflow to inf on purpose: the inf limit must still yield
+        # a normalised share vector.
+        with np.errstate(over="ignore"):
+            shares = per_cca_share(make_trace([1e308, 1e308, 1e308, 1e308]))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_per_cca_share_all_zero(self):
+        shares = per_cca_share(make_trace([0.0, 0.0]))
+        assert shares == {"reno": 0.0, "bbr1": 0.0}
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e308, allow_subnormal=True),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_trace_fairness_extreme_magnitudes(self, rates):
+        with np.errstate(over="ignore"):
+            value = trace_fairness(make_trace(rates))
+        assert np.isfinite(value)
+        assert 1.0 / len(rates) - 1e-9 <= value <= 1.0 + 1e-9
 
     def test_loss_percent(self):
         trace = make_trace([500.0, 500.0])
