@@ -1,0 +1,154 @@
+"""Micro-benchmark of the emulator event layer: closure scheduler vs delay lines.
+
+Measures packets/second of the 10 s multi-flow BBRv1 emulation under the
+pre-change per-packet-closure scheduler (kept verbatim in
+``repro.emulation.closure_ref``) and under the typed delay-line/timer
+scheduler, records the results in ``benchmarks/BENCH_perf_emulation.json``
+for the performance trajectory, and asserts:
+
+* the droptail equivalence contract — same seed, identical per-flow
+  ``sent/delivered/lost`` counts and identical link drop/transmit counters
+  across the two event layers (the speedup claim is only meaningful if the
+  schedulers simulate the same network);
+* the structural O(flows + links) heap invariant — the delay-line run
+  keeps a handful of live events regardless of the thousands of packets in
+  flight, while the closure reference holds one heap entry per in-flight
+  packet hop;
+* a conservative single-core speedup floor (the measured median on an
+  otherwise idle machine is ~2x; the assertion leaves headroom for noisy
+  CI).  The issue's ≥5x target is recorded in the JSON for honesty — the
+  remaining gap is CCA/bookkeeping work shared by both schedulers, not
+  event scheduling; ``--workers N`` scales emulation sweeps further on
+  multi-core machines (this container is single-core).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.config import dumbbell_scenario
+from repro.emulation.runner import EmulationRunner
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_perf_emulation.json"
+
+FLOWS = 4
+DURATION_S = 10.0
+REPEATS = 3
+#: Conservative CI floor; the measured median speedup is ~2x.
+MIN_SPEEDUP = 1.5
+
+
+def _scenario():
+    return dumbbell_scenario(["bbr1"] * FLOWS, duration_s=DURATION_S, seed=1)
+
+
+def _timed_run(scheduler: str):
+    runner = EmulationRunner(_scenario(), scheduler=scheduler)
+    start = time.perf_counter()
+    runner.run()
+    elapsed = time.perf_counter() - start
+    counts = [
+        (s.sent_count, s.delivered_count, s.lost_count) for s in runner.senders.values()
+    ]
+    sent = sum(c[0] for c in counts)
+    return sent / elapsed, counts, runner
+
+
+def _peak_live_events(scheduler: str) -> int:
+    """Peak number of live scheduled events during a short probing run."""
+    runner = EmulationRunner(_scenario().with_duration(1.0), scheduler=scheduler)
+    peak = 0
+
+    def probe():
+        nonlocal peak
+        peak = max(peak, len(runner.events))
+        runner.events.schedule(0.01, probe)
+
+    runner.events.schedule(0.05, probe)
+    runner.run()
+    return peak
+
+
+def test_perf_emulation(benchmark):
+    closure_pps = []
+    delayline_pps = []
+    closure_counts = delayline_counts = None
+    closure_runner = delayline_runner = None
+    for _ in range(REPEATS - 1):
+        pps, closure_counts, closure_runner = _timed_run("closure")
+        closure_pps.append(pps)
+        pps, delayline_counts, delayline_runner = _timed_run("delayline")
+        delayline_pps.append(pps)
+    # Final repetition through the benchmark fixture so the harness records it.
+    pps, closure_counts, closure_runner = _timed_run("closure")
+    closure_pps.append(pps)
+    pps, delayline_counts, delayline_runner = benchmark.pedantic(
+        lambda: _timed_run("delayline"), rounds=1, iterations=1
+    )
+    delayline_pps.append(pps)
+
+    closure_median = statistics.median(closure_pps)
+    delayline_median = statistics.median(delayline_pps)
+    speedup = delayline_median / closure_median
+
+    # Same seed => identical droptail accounting across the event layers.
+    assert delayline_counts == closure_counts, (
+        "delay-line scheduler diverged from the closure reference: "
+        f"{delayline_counts} != {closure_counts}"
+    )
+    assert (
+        delayline_runner.bottleneck.queue.dropped
+        == closure_runner.bottleneck.queue.dropped
+    )
+    assert (
+        delayline_runner.bottleneck.transmitted == closure_runner.bottleneck.transmitted
+    )
+
+    closure_peak = _peak_live_events("closure")
+    delayline_peak = _peak_live_events("delayline")
+    # O(flows + links): pacing timer, watchdog, access line and return line
+    # per sender, plus the sampler and the probe (with slack); the closure
+    # reference holds one entry per in-flight packet hop.
+    assert delayline_peak <= 4 * FLOWS + 4, delayline_peak
+    assert closure_peak >= 10 * delayline_peak, (closure_peak, delayline_peak)
+
+    results = {
+        "scenario": {
+            "cca": "bbr1",
+            "flows": FLOWS,
+            "duration_s": DURATION_S,
+            "discipline": "droptail",
+            "buffer_bdp": 1.0,
+            "seed": 1,
+        },
+        "packets_per_second": {
+            "closure": round(closure_median),
+            "delayline": round(delayline_median),
+        },
+        "speedup": round(speedup, 2),
+        "issue_target_speedup": 5.0,
+        "equivalence": {
+            "identical_counts": True,
+            "per_flow_sent_delivered_lost": [list(c) for c in delayline_counts],
+            "link_dropped": delayline_runner.bottleneck.queue.dropped,
+            "link_transmitted": delayline_runner.bottleneck.transmitted,
+        },
+        "live_heap_events_peak": {
+            "closure": closure_peak,
+            "delayline": delayline_peak,
+        },
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print("\nEmulator event-layer throughput (sent packets/second, 10 s BBRv1 x 4):")
+    print(f"  closure reference  {closure_median:10.0f} pkts/s  (heap peak {closure_peak})")
+    print(f"  delay-line/timer   {delayline_median:10.0f} pkts/s  (heap peak {delayline_peak})")
+    print(f"  speedup            {speedup:10.2f}x")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"delay-line scheduler only {speedup:.2f}x the closure reference "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

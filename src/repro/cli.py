@@ -38,6 +38,13 @@ def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--short-rtt", action="store_true")
     parser.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan uncached sweep points out to N worker processes",
+    )
 
 
 def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -49,6 +56,13 @@ def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--disciplines", nargs="+", default=None)
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--short-rtt", action="store_true")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan uncached sweep points out to N worker processes",
+    )
 
 
 def _add_theorem_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -96,8 +110,15 @@ def _run_sweep(args: argparse.Namespace) -> int:
         substrate=args.substrate,
         short_rtt=args.short_rtt,
         duration_s=args.duration,
+        workers=args.workers,
     )
     rows = [point.row() for point in points]
+    if not rows:
+        print(
+            "sweep produced no points; check --mixes/--buffers/--disciplines",
+            file=sys.stderr,
+        )
+        return 1
     print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
     if args.csv:
         path = report.write_csv(args.csv, rows)
@@ -115,6 +136,7 @@ def _run_figure(args: argparse.Namespace) -> int:
         disciplines=args.disciplines,
         duration_s=args.duration,
         short_rtt=args.short_rtt,
+        workers=args.workers,
     )
     for discipline, by_mix in data.items():
         print(report.series_table(f"{args.name} [{discipline}]", by_mix))
@@ -124,6 +146,9 @@ def _run_figure(args: argparse.Namespace) -> int:
 
 def _run_theorems(args: argparse.Namespace) -> int:
     rows = figures.theorem_table(flow_counts=args.flows, propagation_delay_s=args.delay)
+    if not rows:
+        print("no theorem rows produced; check --flows", file=sys.stderr)
+        return 1
     print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
     return 0
 

@@ -1,7 +1,7 @@
 """Packet-level discrete-event emulator (substitute for the paper's mininet testbed)."""
 
 from .cca import Bbr1Packet, Bbr2Packet, CubicPacket, PacketCCA, RenoPacket, create_packet_cca
-from .events import EventQueue
+from .events import DelayLine, EventQueue, Timer
 from .link import BottleneckLink
 from .nodes import Destination, Sender
 from .queues import DropTailQueue, PacketQueue, RedQueue, make_queue
@@ -14,7 +14,9 @@ __all__ = [
     "PacketCCA",
     "RenoPacket",
     "create_packet_cca",
+    "DelayLine",
     "EventQueue",
+    "Timer",
     "BottleneckLink",
     "Destination",
     "Sender",

@@ -9,6 +9,11 @@ The :class:`AckSample` carries everything a modern CCA needs: the RTT
 sample, the delivery-rate sample of BBR's bandwidth estimator (delivered
 packets since the acked packet was sent, divided by the elapsed time) and
 the current inflight.
+
+Callback records are ephemeral: the sender reuses one :class:`AckSample`
+and one :class:`LossEvent` instance across calls to keep the per-ACK hot
+path allocation-free, so a CCA must read the fields synchronously inside
+the callback and never retain a reference to the record itself.
 """
 
 from __future__ import annotations
@@ -18,9 +23,13 @@ import math
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class AckSample:
-    """Measurements delivered to the CCA with each acknowledgement."""
+    """Measurements delivered to the CCA with each acknowledgement.
+
+    Instances may be reused by the caller between callbacks — read, don't
+    retain (see the module docstring).
+    """
 
     now: float
     rtt: float
@@ -30,9 +39,13 @@ class AckSample:
     newly_delivered: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class LossEvent:
-    """A batch of packets detected as lost."""
+    """A batch of packets detected as lost.
+
+    Instances may be reused by the caller between callbacks — read, don't
+    retain (see the module docstring).
+    """
 
     now: float
     num_lost: int
@@ -49,10 +62,37 @@ class PacketCCA(abc.ABC):
     def __init__(self) -> None:
         self.cwnd_pkts: float = 10.0
         self.pacing_rate_pps: float = math.inf
+        # Reusable record backing the default on_ack_fast -> on_ack bridge.
+        self._fast_sample = AckSample(0.0, 0.0, 0.0, 0, 0, 1)
 
     @abc.abstractmethod
     def on_ack(self, sample: AckSample) -> None:
         """Process an acknowledgement."""
+
+    def on_ack_fast(
+        self,
+        now: float,
+        rtt: float,
+        delivery_rate: float,
+        inflight: int,
+        acked_seq: int,
+        newly_delivered: int = 1,
+    ) -> None:
+        """Positional-argument ACK hot path used by the sender.
+
+        Semantically identical to :meth:`on_ack`; the default implementation
+        packs the arguments into a reused :class:`AckSample` and delegates.
+        Hot CCAs override this natively so the per-ACK path moves plain
+        scalars instead of a record object.
+        """
+        sample = self._fast_sample
+        sample.now = now
+        sample.rtt = rtt
+        sample.delivery_rate = delivery_rate
+        sample.inflight = inflight
+        sample.acked_seq = acked_seq
+        sample.newly_delivered = newly_delivered
+        self.on_ack(sample)
 
     @abc.abstractmethod
     def on_loss(self, event: LossEvent) -> None:

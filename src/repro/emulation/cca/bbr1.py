@@ -172,13 +172,103 @@ class Bbr1Packet(PacketCCA):
     # ------------------------------------------------------------------ #
 
     def on_ack(self, sample: AckSample) -> None:
-        round_start = self._update_round(sample)
-        self._update_btlbw(sample)
-        self._update_rtprop(sample)
-        self._check_full_pipe(round_start)
-        self._maybe_enter_probe_rtt(sample)
-        self._apply_state(sample)
-        self._set_controls()
+        self.on_ack_fast(
+            sample.now,
+            sample.rtt,
+            sample.delivery_rate,
+            sample.inflight,
+            sample.acked_seq,
+            sample.newly_delivered,
+        )
+
+    def on_ack_fast(
+        self,
+        now: float,
+        rtt: float,
+        delivery_rate: float,
+        inflight: int,
+        acked_seq: int,
+        newly_delivered: int = 1,
+    ) -> None:
+        # One inlined body equivalent to the helper pipeline
+        #   _update_round -> _update_btlbw -> _update_rtprop ->
+        #   _check_full_pipe -> _maybe_enter_probe_rtt -> _apply_state ->
+        #   _set_controls
+        # (the helpers above are kept as the readable specification).  This
+        # runs once per acknowledgement — the emulator's hottest call after
+        # the event loop itself — so the pipeline executes without per-stage
+        # method calls and without touching a sample record.
+        delivered = self._delivered + newly_delivered
+        self._delivered = delivered
+        round_start = delivered >= self._next_round_delivered
+        if round_start:
+            self._round += 1
+            self._next_round_delivered = delivered + inflight + 1
+        rate = delivery_rate
+        if rate > 0:
+            samples = self._bw_samples
+            while samples and samples[-1][1] <= rate:
+                samples.pop()
+            samples.append((self._round, rate))
+            horizon = self._round - BW_WINDOW_ROUNDS
+            while samples[0][0] < horizon:
+                samples.popleft()
+            self.btlbw_pps = samples[0][1]
+        if not self._rtprop_valid or rtt <= self.rtprop_s:
+            self.rtprop_s = rtt
+            self._rtprop_stamp = now
+            self._rtprop_valid = True
+        state = self.state
+        if round_start and state == "startup":
+            btlbw = self.btlbw_pps
+            if btlbw >= self._full_bw * FULL_BW_THRESHOLD:
+                self._full_bw = btlbw
+                self._full_bw_count = 0
+            else:
+                self._full_bw_count += 1
+                if self._full_bw_count >= FULL_BW_ROUNDS:
+                    self.state = state = "drain"
+        if state == "probe_rtt":
+            if self._probe_rtt_done_stamp is None:
+                self._probe_rtt_done_stamp = now + PROBE_RTT_DURATION_S
+            elif now >= self._probe_rtt_done_stamp:
+                self._rtprop_stamp = now
+                self._probe_rtt_done_stamp = None
+                self.state = state = "probe_bw"
+                self._cycle_stamp = now
+        elif (
+            self._rtprop_valid
+            and now - self._rtprop_stamp > PROBE_RTT_INTERVAL_S
+            and (state == "probe_bw" or state == "startup")
+        ):
+            self.state = state = "probe_rtt"
+            self._probe_rtt_done_stamp = None
+        if state == "startup":
+            self.pacing_gain = STARTUP_GAIN
+            self.cwnd_gain = STARTUP_GAIN
+        elif state == "drain":
+            self.pacing_gain = DRAIN_GAIN
+            self.cwnd_gain = STARTUP_GAIN
+            if inflight <= self.btlbw_pps * self.rtprop_s:
+                self.state = state = "probe_bw"
+                self._cycle_stamp = now
+        if state == "probe_bw":
+            if now - self._cycle_stamp > self.rtprop_s:
+                self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+                self._cycle_stamp = now
+            self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+            self.cwnd_gain = CWND_GAIN
+        elif state == "probe_rtt":
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+        btlbw = self.btlbw_pps
+        pacing = self.pacing_gain * btlbw
+        self.pacing_rate_pps = pacing if pacing > 1.0 else 1.0
+        if state == "probe_rtt":
+            self.cwnd_pkts = PROBE_RTT_CWND_PKTS
+        else:
+            cwnd = self.cwnd_gain * (btlbw * self.rtprop_s)
+            self.cwnd_pkts = cwnd if cwnd > MIN_CWND_PKTS else MIN_CWND_PKTS
 
     def on_loss(self, event: LossEvent) -> None:
         # BBRv1 deliberately ignores packet loss.

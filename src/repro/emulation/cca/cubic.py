@@ -46,18 +46,36 @@ class CubicPacket(PacketCCA):
         return CUBIC_C * (t - k) ** 3 + self.w_max
 
     def on_ack(self, sample: AckSample) -> None:
+        self.on_ack_fast(
+            sample.now,
+            sample.rtt,
+            sample.delivery_rate,
+            sample.inflight,
+            sample.acked_seq,
+            sample.newly_delivered,
+        )
+
+    def on_ack_fast(
+        self,
+        now: float,
+        rtt: float,
+        delivery_rate: float,
+        inflight: int,
+        acked_seq: int,
+        newly_delivered: int = 1,
+    ) -> None:
         if self.in_slow_start():
-            self.cwnd_pkts += sample.newly_delivered
+            self.cwnd_pkts += newly_delivered
             return
-        target = self._cubic_target(sample.now)
+        target = self._cubic_target(now)
         if target > self.cwnd_pkts:
             # Approach the cubic target within roughly one RTT.
             self.cwnd_pkts += (
                 (target - self.cwnd_pkts) / max(self.cwnd_pkts, 1.0)
-            ) * sample.newly_delivered
+            ) * newly_delivered
         else:
             # Very slow growth when above the target (kernel's 1/(100 cwnd)).
-            self.cwnd_pkts += sample.newly_delivered / (100.0 * max(self.cwnd_pkts, 1.0))
+            self.cwnd_pkts += newly_delivered / (100.0 * max(self.cwnd_pkts, 1.0))
 
     def on_loss(self, event: LossEvent) -> None:
         if event.lost_seqs and max(event.lost_seqs) <= self._recovery_until:

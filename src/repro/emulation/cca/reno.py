@@ -32,6 +32,21 @@ class RenoPacket(PacketCCA):
         else:
             self.cwnd_pkts += sample.newly_delivered / self.cwnd_pkts
 
+    def on_ack_fast(
+        self,
+        now: float,
+        rtt: float,
+        delivery_rate: float,
+        inflight: int,
+        acked_seq: int,
+        newly_delivered: int = 1,
+    ) -> None:
+        cwnd = self.cwnd_pkts
+        if cwnd < self.ssthresh_pkts:
+            self.cwnd_pkts = cwnd + newly_delivered
+        else:
+            self.cwnd_pkts = cwnd + newly_delivered / cwnd
+
     def on_loss(self, event: LossEvent) -> None:
         if event.lost_seqs and max(event.lost_seqs) <= self._recovery_until:
             return  # already reacted to this window of loss

@@ -8,14 +8,23 @@ network is FIFO, hence any still-unacknowledged packet that was sent before
 an acknowledged one must have been dropped.  Lost packets are not
 retransmitted (the throughput metrics of the paper measure delivered
 traffic; retransmissions would only re-label which packets carry it).
+
+Event usage is O(1) per sender regardless of the number of in-flight
+packets: the access leg and the return path are
+:class:`~repro.emulation.events.DelayLine` FIFOs, and the pacing wakeup and
+the RTO watchdog are reusable :class:`~repro.emulation.events.Timer`
+handles.  No per-packet closures are ever scheduled (the pre-change
+per-packet-lambda implementation survives as
+:mod:`repro.emulation.closure_ref` for the equivalence tests).
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
-from .cca.base import AckSample, LossEvent, PacketCCA
-from .events import EventQueue
+from .cca.base import LossEvent, PacketCCA
+from .events import DelayLine, EventQueue, Timer
 from .link import BottleneckLink
 from .packet import Packet
 
@@ -24,9 +33,42 @@ MIN_RTO_S: float = 0.2
 #: Periodic interval at which the sender checks for a stalled connection.
 TIMEOUT_CHECK_INTERVAL_S: float = 0.1
 
+_INF = math.inf
+
 
 class Sender:
     """A greedy traffic source controlled by a packet-level CCA."""
+
+    __slots__ = (
+        "events",
+        "flow_id",
+        "cca",
+        "bottleneck",
+        "access_delay_s",
+        "return_delay_s",
+        "mss_bytes",
+        "start_time_s",
+        "next_seq",
+        "inflight",
+        "n_inflight",
+        "sent_count",
+        "delivered_count",
+        "lost_count",
+        "timeout_count",
+        "reconciled_count",
+        "last_rtt_s",
+        "srtt_s",
+        "return_line",
+        "_access_line",
+        "_pacing_timer",
+        "_watchdog",
+        "_timeout_marked",
+        "_cca_ack",
+        "_loss_event",
+        "_next_send_time",
+        "_last_ack_time",
+        "_started",
+    )
 
     def __init__(
         self,
@@ -52,15 +94,36 @@ class Sender:
 
         self.next_seq = 0
         self.inflight: dict[int, Packet] = {}
+        self.n_inflight = 0
         self.sent_count = 0
         self.delivered_count = 0
         self.lost_count = 0
+        #: Number of retransmission timeouts fired by the watchdog.
+        self.timeout_count = 0
+        #: Packets first written off by the watchdog whose ACK arrived later
+        #: (spurious-timeout reconciliation, see :meth:`_reconcile_late_ack`).
+        self.reconciled_count = 0
         self.last_rtt_s = 0.0
         self.srtt_s: float | None = None
         self._next_send_time = start_time_s
-        self._wakeup_pending = False
         self._last_ack_time = start_time_s
         self._started = False
+
+        #: Data path to the bottleneck (the sender's private access link).
+        self._access_line = DelayLine(events, access_delay_s, bottleneck.on_arrival)
+        #: Return path carrying ACKs back from the destination.  The link
+        #: pushes straight onto this line when ack routes are fused.
+        self.return_line = DelayLine(events, return_delay_s, self._on_ack)
+        self._pacing_timer = Timer(events, self._try_send)
+        self._watchdog = Timer(events, self._check_timeout)
+        #: Sequences written off by the watchdog that may still be ACKed.
+        self._timeout_marked: set[int] = set()
+        # Bound hot-path ACK entry of the CCA (see PacketCCA.on_ack_fast);
+        # the loss record is reused across calls (the CCA contract is to
+        # read it synchronously, see cca/base.py) so the ACK hot path
+        # allocates nothing beyond the packet itself.
+        self._cca_ack = cca.on_ack_fast
+        self._loss_event = LossEvent(0.0, 0, 0, 0)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -72,9 +135,7 @@ class Sender:
             return
         self._started = True
         self.events.schedule_at(self.start_time_s, self._try_send)
-        self.events.schedule_at(
-            self.start_time_s + TIMEOUT_CHECK_INTERVAL_S, self._check_timeout
-        )
+        self._watchdog.schedule_at(self.start_time_s + TIMEOUT_CHECK_INTERVAL_S)
 
     # ------------------------------------------------------------------ #
     # Transmission path
@@ -85,44 +146,55 @@ class Sender:
             return 1.0
         return max(MIN_RTO_S, 4.0 * self.srtt_s)
 
-    def _pacing_wakeup(self) -> None:
-        self._wakeup_pending = False
-        self._try_send()
-
     def _try_send(self) -> None:
         now = self.events.now
-        window = self.cca.window_limit()
-        interval = self.cca.pacing_interval()
-        while len(self.inflight) < window:
-            if now < self._next_send_time:
-                break
-            self._transmit(now)
-            self._next_send_time = max(self._next_send_time, now) + interval
-        if (
-            len(self.inflight) < window
-            and now < self._next_send_time
-            and not self._wakeup_pending
-        ):
+        next_send = self._next_send_time
+        if now < next_send and self._pacing_timer._entry is not None:
+            # Pacing-limited and the wakeup is already armed: nothing to do
+            # (the armed wakeup fires no later than any newly computed send
+            # time would).
+            return
+        cca = self.cca
+        window = cca.cwnd_pkts  # inlined cca.window_limit()
+        if window < 1.0:
+            window = 1.0
+        n_inflight = self.n_inflight
+        if n_inflight >= window:
+            return
+        if now >= next_send:
+            rate = cca.pacing_rate_pps  # inlined cca.pacing_interval()
+            interval = 0.0 if rate <= 0.0 or rate == _INF else 1.0 / rate
+            inflight = self.inflight
+            line = self._access_line
+            pending = line._pending
+            flow_id = self.flow_id
+            mss = self.mss_bytes
+            delivered = self.delivered_count
+            arrival = now + self.access_delay_s
+            seq = first_seq = self.next_seq
+            while True:
+                packet = Packet(flow_id, seq, mss, now, delivered)
+                inflight[seq] = packet
+                pending.append((arrival, packet))
+                seq += 1
+                n_inflight += 1
+                next_send = (next_send if next_send > now else now) + interval
+                if n_inflight >= window or now < next_send:
+                    break
+            self.sent_count += seq - first_seq
+            self.next_seq = seq
+            self.n_inflight = n_inflight
+            self._next_send_time = next_send
+            # The whole burst shares one arrival time, so the line's timer
+            # is armed at most once per call.
+            timer = line._timer
+            if timer._entry is None:
+                timer._arm(pending[0][0])
+        if n_inflight < window and now < next_send:
             # Pacing-limited: wake up when the next transmission is allowed.
-            # The pending flag is cleared only by the wakeup itself so that
-            # ACK-triggered calls never pile up duplicate wakeup events.
-            self._wakeup_pending = True
-            self.events.schedule_at(self._next_send_time, self._pacing_wakeup)
-
-    def _transmit(self, now: float) -> None:
-        packet = Packet(
-            flow_id=self.flow_id,
-            seq=self.next_seq,
-            size_bytes=self.mss_bytes,
-            sent_time=now,
-            delivered_at_send=self.delivered_count,
-        )
-        self.next_seq += 1
-        self.sent_count += 1
-        self.inflight[packet.seq] = packet
-        self.events.schedule(
-            self.access_delay_s, lambda p=packet: self.bottleneck.on_arrival(p)
-        )
+            timer = self._pacing_timer
+            if timer._entry is None:
+                timer._arm(next_send)
 
     # ------------------------------------------------------------------ #
     # Acknowledgement path
@@ -130,15 +202,21 @@ class Sender:
 
     def on_packet_delivered(self, packet: Packet) -> None:
         """Called by the topology when a packet reaches the destination host."""
-        self.events.schedule(self.return_delay_s, lambda p=packet: self._on_ack(p))
+        self.return_line.send(packet)
 
     def _on_ack(self, packet: Packet) -> None:
         now = self.events.now
         self._last_ack_time = now
-        if packet.seq not in self.inflight:
-            return  # e.g. already declared lost by the watchdog
-        del self.inflight[packet.seq]
-        self.delivered_count += 1
+        inflight = self.inflight
+        seq = packet.seq
+        if inflight.pop(seq, None) is None:
+            self._reconcile_late_ack(seq)
+            return
+        n_inflight = self.n_inflight - 1
+        delivered = self.delivered_count + 1
+        self.delivered_count = delivered
+        if self._timeout_marked:
+            self._purge_marked(seq)
 
         # FIFO network: every unacknowledged packet sent before this one is
         # lost.  Packets enter ``inflight`` in strictly increasing sequence
@@ -146,41 +224,61 @@ class Sender:
         # packets form a prefix — stop at the first seq past the ACK instead
         # of scanning the whole window on every acknowledgement.
         lost: list[int] = []
-        for seq in self.inflight:
-            if seq >= packet.seq:
+        for s in inflight:
+            if s >= seq:
                 break
-            lost.append(seq)
-        lost_seqs = tuple(lost)
+            lost.append(s)
         rtt = now - packet.sent_time
         self.last_rtt_s = rtt
-        self.srtt_s = rtt if self.srtt_s is None else 0.875 * self.srtt_s + 0.125 * rtt
-        elapsed = max(now - packet.sent_time, 1e-9)
-        delivery_rate = (self.delivered_count - packet.delivered_at_send) / elapsed
+        srtt = self.srtt_s
+        self.srtt_s = rtt if srtt is None else 0.875 * srtt + 0.125 * rtt
+        elapsed = rtt if rtt > 1e-9 else 1e-9
+        delivery_rate = (delivered - packet.delivered_at_send) / elapsed
 
-        if lost_seqs:
-            for seq in lost_seqs:
-                del self.inflight[seq]
-            self.lost_count += len(lost_seqs)
-            self.cca.on_loss(
-                LossEvent(
-                    now=now,
-                    num_lost=len(lost_seqs),
-                    inflight=len(self.inflight),
-                    highest_seq_sent=self.next_seq - 1,
-                    lost_seqs=lost_seqs,
-                )
-            )
-        self.cca.on_ack(
-            AckSample(
-                now=now,
-                rtt=rtt,
-                delivery_rate=delivery_rate,
-                inflight=len(self.inflight),
-                acked_seq=packet.seq,
-                newly_delivered=1,
-            )
-        )
+        if lost:
+            for s in lost:
+                del inflight[s]
+            n_inflight -= len(lost)
+            self.lost_count += len(lost)
+            event = self._loss_event
+            event.now = now
+            event.num_lost = len(lost)
+            event.inflight = n_inflight
+            event.highest_seq_sent = self.next_seq - 1
+            event.lost_seqs = tuple(lost)
+            self.n_inflight = n_inflight
+            self.cca.on_loss(event)
+        else:
+            self.n_inflight = n_inflight
+        self._cca_ack(now, rtt, delivery_rate, n_inflight, seq, 1)
         self._try_send()
+
+    def _reconcile_late_ack(self, seq: int) -> None:
+        """An ACK arrived for a packet the watchdog had written off.
+
+        The packet was genuinely delivered, so the spurious timeout must not
+        leave it counted as lost: move it from the loss tally to the
+        delivery tally.  (The pre-change implementation silently dropped
+        such ACKs, undercounting deliveries and overcounting losses after
+        every spurious RTO.)
+        """
+        marked = self._timeout_marked
+        if seq in marked:
+            marked.remove(seq)
+            self.lost_count -= 1
+            self.delivered_count += 1
+            self.reconciled_count += 1
+            self._purge_marked(seq)
+
+    def _purge_marked(self, acked_seq: int) -> None:
+        """Drop timeout marks that can no longer be reconciled.
+
+        The network is FIFO: once ``acked_seq`` is acknowledged, any marked
+        packet with a smaller sequence would already have been acknowledged
+        if it had been delivered — it is confirmed lost and its mark can be
+        discarded (keeping the marked set bounded).
+        """
+        self._timeout_marked = {s for s in self._timeout_marked if s >= acked_seq}
 
     # ------------------------------------------------------------------ #
     # Stall watchdog (retransmission timeout)
@@ -188,13 +286,19 @@ class Sender:
 
     def _check_timeout(self) -> None:
         now = self.events.now
-        if self.inflight and now - self._last_ack_time > self._rto():
-            self.lost_count += len(self.inflight)
-            self.inflight.clear()
+        inflight = self.inflight
+        if inflight and now - self._last_ack_time > self._rto():
+            self.timeout_count += 1
+            self.lost_count += len(inflight)
+            # Keep the written-off sequences around: if an ACK still arrives
+            # (spurious timeout) the counters are reconciled in _on_ack.
+            self._timeout_marked.update(inflight)
+            inflight.clear()
+            self.n_inflight = 0
             self.cca.on_timeout(now)
             self._last_ack_time = now
             self._try_send()
-        self.events.schedule(TIMEOUT_CHECK_INTERVAL_S, self._check_timeout)
+        self._watchdog.schedule(TIMEOUT_CHECK_INTERVAL_S)
 
 
 class Destination:

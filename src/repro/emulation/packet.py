@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A data packet travelling from a sender to the destination.
 
@@ -30,7 +30,7 @@ class Packet:
     app_limited: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """An acknowledgement for a single data packet (SACK-style, per packet).
 

@@ -16,7 +16,16 @@ from .packet import Packet
 
 
 class PacketQueue:
-    """Base class of a finite packet queue with drop accounting."""
+    """Base class of a finite packet queue with drop accounting.
+
+    A discipline must implement two admission entry points: :meth:`offer`
+    (packet-storing, used by the closure reference scheduler and direct
+    queue users) and :meth:`decide` (storage-free, used by the virtual
+    transmitter of :class:`~repro.emulation.link.BottleneckLink`, which
+    tracks the queue contents arithmetically and only consults the
+    discipline for the accept/drop decision).  Both must keep the
+    ``enqueued``/``dropped`` counters consistent.
+    """
 
     def __init__(self, capacity_pkts: int) -> None:
         if capacity_pkts < 1:
@@ -25,6 +34,32 @@ class PacketQueue:
         self._queue: deque[Packet] = deque()
         self.dropped = 0
         self.enqueued = 0
+        # Set by the owning link via bind_clock(); lets time-aware
+        # disciplines (RED) observe the simulation clock and service rate.
+        self._events = None
+        self.service_time_s: float | None = None
+
+    def bind_clock(self, events, service_time_s: float) -> None:
+        """Attach the event clock and per-packet service time of the link."""
+        self._events = events
+        self.service_time_s = service_time_s
+
+    def decide(self, occupancy: int, now: float) -> bool:
+        """Storage-free admission decision for an externally held queue.
+
+        The delay-line link models its queue arithmetically (packet start
+        and departure times are deterministic) and only consults the
+        discipline for the accept/drop decision; ``occupancy`` is the
+        number of waiting packets at arrival time ``now``.  Updates the
+        ``enqueued``/``dropped`` counters exactly like :meth:`offer`.
+        Like :meth:`offer`, this is part of the required discipline
+        interface — a subclass used with the delay-line link must
+        implement it.
+        """
+        raise NotImplementedError
+
+    def notify_idle(self, time: float) -> None:
+        """Inform the discipline that the external queue emptied at ``time``."""
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -62,6 +97,13 @@ class DropTailQueue(PacketQueue):
             return self._drop()
         return self._accept(packet)
 
+    def decide(self, occupancy: int, now: float) -> bool:
+        if occupancy >= self.capacity_pkts:
+            self.dropped += 1
+            return False
+        self.enqueued += 1
+        return True
+
 
 class RedQueue(PacketQueue):
     """Random Early Detection queue.
@@ -96,6 +138,7 @@ class RedQueue(PacketQueue):
         self.max_probability = max_probability
         self.ewma_weight = ewma_weight
         self.avg_queue = 0.0
+        self._idle_since: float | None = None
 
     def drop_probability(self) -> float:
         """Current RED drop probability based on the averaged queue length."""
@@ -106,15 +149,56 @@ class RedQueue(PacketQueue):
         span = self.max_threshold - self.min_threshold
         return self.max_probability * (self.avg_queue - self.min_threshold) / span
 
+    def pop(self) -> Packet | None:
+        queue = self._queue
+        if not queue:
+            return None
+        packet = queue.popleft()
+        if not queue and self._events is not None:
+            self._idle_since = self._events.now
+        return packet
+
+    def notify_idle(self, time: float) -> None:
+        self._idle_since = time
+
+    def _update_avg(self, occupancy: int, now: float | None) -> None:
+        if occupancy == 0 and self._idle_since is not None and now is not None:
+            # Classic RED idle-time correction (Floyd & Jacobson 1993,
+            # Sec. 11): while the queue sat empty no arrivals updated the
+            # EWMA, so it is stale-high and would over-drop the first burst
+            # after the idle period.  Decay it as if the link had served
+            # ``m`` (fractional) small packets during the idle time.
+            idle_s = now - self._idle_since
+            self._idle_since = None
+            if self.service_time_s and idle_s > 0:
+                m = idle_s / self.service_time_s
+                self.avg_queue *= (1.0 - self.ewma_weight) ** m
+            else:
+                self.avg_queue *= 1.0 - self.ewma_weight
+        else:
+            self.avg_queue = (
+                (1.0 - self.ewma_weight) * self.avg_queue + self.ewma_weight * occupancy
+            )
+
     def offer(self, packet: Packet) -> bool:
-        self.avg_queue = (
-            (1.0 - self.ewma_weight) * self.avg_queue + self.ewma_weight * len(self._queue)
-        )
-        if len(self._queue) >= self.capacity_pkts:
+        occupancy = len(self._queue)
+        self._update_avg(occupancy, self._events.now if self._events is not None else None)
+        if occupancy >= self.capacity_pkts:
             return self._drop()
         if self._rng.random() < self.drop_probability():
             return self._drop()
         return self._accept(packet)
+
+    def decide(self, occupancy: int, now: float) -> bool:
+        self._update_avg(occupancy, now)
+        if occupancy >= self.capacity_pkts:
+            self.dropped += 1
+            return False
+        if self._rng.random() < self.drop_probability():
+            self.dropped += 1
+            return False
+        self.enqueued += 1
+        return True
 
 
 def make_queue(discipline: str, capacity_pkts: int, rng: random.Random) -> PacketQueue:

@@ -6,49 +6,61 @@ runs the discrete-event simulation, and samples the same
 that every metric of the paper's evaluation can be computed from either
 substrate interchangeably (this emulator plays the role of the paper's
 mininet experiments, cf. DESIGN.md).
+
+Samples are recorded into preallocated numpy buffers on an absolute time
+grid (sample ``k`` fires at exactly ``(k + 1) * record_interval_s``), so
+emulation trace timestamps line up with the fluid traces' uniform grid
+instead of accumulating floating-point drift from relative rescheduling.
+
+``scheduler`` selects the event layer: ``"delayline"`` (default) uses the
+typed delay-line/timer primitives of :mod:`repro.emulation.events`;
+``"closure"`` uses the preserved pre-change per-packet-closure scheduler
+(:mod:`repro.emulation.closure_ref`) for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import units
 from ..config import ScenarioConfig
 from ..metrics.traces import FlowTrace, LinkTrace, Trace
+from . import closure_ref
 from .cca import create_packet_cca
-from .events import EventQueue
+from .events import EventQueue, Timer
 from .link import BottleneckLink
 from .nodes import Destination, Sender
 from .queues import make_queue
 
-
-@dataclass
-class _FlowSamples:
-    """Accumulators for one flow's trace samples."""
-
-    rate: list[float] = field(default_factory=list)
-    delivery: list[float] = field(default_factory=list)
-    cwnd: list[float] = field(default_factory=list)
-    inflight: list[float] = field(default_factory=list)
-    rtt: list[float] = field(default_factory=list)
-    prev_sent: int = 0
-    prev_delivered: int = 0
+#: Event-layer implementations selectable via ``EmulationRunner(scheduler=...)``.
+SCHEDULERS = ("delayline", "closure")
 
 
 class EmulationRunner:
     """Runs one scenario on the packet-level emulator."""
 
-    def __init__(self, config: ScenarioConfig, record_interval_s: float = 0.01) -> None:
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        record_interval_s: float = 0.01,
+        scheduler: str = "delayline",
+    ) -> None:
         if record_interval_s <= 0:
             raise ValueError("record interval must be positive")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}")
         self.config = config
         self.record_interval_s = record_interval_s
+        self.scheduler = scheduler
         self.rng = random.Random(config.seed)
-        self.events = EventQueue()
+        # The closure reference carries its own verbatim pre-change event
+        # queue so the benchmark compares full old-vs-new event layers.
+        self.events = (
+            EventQueue() if scheduler == "delayline" else closure_ref.ClosureEventQueue()
+        )
 
         capacity_pps = config.bottleneck.capacity_pps
         buffer_pkts = config.buffer_packets()
@@ -58,9 +70,11 @@ class EmulationRunner:
             config.bottleneck.discipline, max(1, int(round(buffer_pkts))), self.rng
         )
 
+        link_cls = BottleneckLink if scheduler == "delayline" else closure_ref.ClosureBottleneckLink
+        sender_cls = Sender if scheduler == "delayline" else closure_ref.ClosureSender
         self.senders: dict[int, Sender] = {}
         destination = Destination(self.senders)
-        self.bottleneck = BottleneckLink(
+        self.bottleneck = link_cls(
             events=self.events,
             queue=queue,
             capacity_pps=capacity_pps,
@@ -73,7 +87,7 @@ class EmulationRunner:
                 rng=random.Random(config.seed + 17 * (i + 1)),
                 initial_rate_pps=capacity_pps / config.num_flows,
             )
-            self.senders[i] = Sender(
+            self.senders[i] = sender_cls(
                 events=self.events,
                 flow_id=i,
                 cca=cca,
@@ -83,41 +97,62 @@ class EmulationRunner:
                 mss_bytes=units.MSS_BYTES,
                 start_time_s=flow_cfg.start_time_s,
             )
+        if scheduler == "delayline":
+            # Fuse the bottleneck propagation leg with each flow's return
+            # path: the link pushes finished packets straight onto the
+            # receiving sender's return delay line (one event per packet
+            # saved; identical acknowledgement times).
+            self.bottleneck.set_ack_routes(
+                [
+                    (self.senders[i].return_line, self.senders[i].return_delay_s)
+                    for i in range(config.num_flows)
+                ]
+            )
 
-        # Sampling state.
-        self._times: list[float] = []
-        self._flow_samples = [_FlowSamples() for _ in config.flows]
-        self._queue_samples: list[float] = []
-        self._loss_samples: list[float] = []
-        self._arrival_samples: list[float] = []
-        self._departure_samples: list[float] = []
+        # Sampling state: preallocated buffers on the absolute time grid
+        # (generously sized; _build_trace slices to the fired sample count).
+        n_flows = config.num_flows
+        capacity = int(config.duration_s / record_interval_s) + 2
+        self._max_samples = capacity
+        self._flow_buffers = np.empty((5, n_flows, capacity))
+        self._link_buffers = np.empty((4, capacity))
+        self._prev_sent = [0] * n_flows
+        self._prev_delivered = [0] * n_flows
         self._prev_enqueued = 0
         self._prev_dropped = 0
         self._prev_transmitted = 0
         self._queue_checkpoint = (0.0, 0.0)
+        self._sample_idx = 0
+        self._sample_timer = (
+            Timer(self.events, self._sample) if scheduler == "delayline" else None
+        )
 
     # ------------------------------------------------------------------ #
     # Sampling
     # ------------------------------------------------------------------ #
 
     def _sample(self) -> None:
-        now = self.events.now
+        k = self._sample_idx
+        if k >= self._max_samples:
+            return
         interval = self.record_interval_s
-        self._times.append(now)
+        rate_buf, delivery_buf, cwnd_buf, inflight_buf, rtt_buf = self._flow_buffers
+        prev_sent = self._prev_sent
+        prev_delivered = self._prev_delivered
+        bottleneck_delay = self.config.bottleneck.delay_s
         for i, sender in self.senders.items():
-            samples = self._flow_samples[i]
-            sent_delta = sender.sent_count - samples.prev_sent
-            delivered_delta = sender.delivered_count - samples.prev_delivered
-            samples.prev_sent = sender.sent_count
-            samples.prev_delivered = sender.delivered_count
-            samples.rate.append(sent_delta / interval)
-            samples.delivery.append(delivered_delta / interval)
-            samples.cwnd.append(sender.cca.window_limit())
-            samples.inflight.append(float(len(sender.inflight)))
-            samples.rtt.append(
+            sent = sender.sent_count
+            delivered = sender.delivered_count
+            rate_buf[i, k] = (sent - prev_sent[i]) / interval
+            delivery_buf[i, k] = (delivered - prev_delivered[i]) / interval
+            prev_sent[i] = sent
+            prev_delivered[i] = delivered
+            cwnd_buf[i, k] = sender.cca.window_limit()
+            inflight_buf[i, k] = float(len(sender.inflight))
+            rtt_buf[i, k] = (
                 sender.last_rtt_s
                 if sender.last_rtt_s > 0
-                else 2.0 * (sender.access_delay_s + self.config.bottleneck.delay_s)
+                else 2.0 * (sender.access_delay_s + bottleneck_delay)
             )
         queue = self.bottleneck.queue
         arrivals = (queue.enqueued + queue.dropped) - (
@@ -130,11 +165,19 @@ class EmulationRunner:
         self._prev_transmitted = self.bottleneck.transmitted
         mean_queue = self.bottleneck.mean_queue_since(*self._queue_checkpoint)
         self._queue_checkpoint = self.bottleneck.checkpoint()
-        self._queue_samples.append(mean_queue)
-        self._loss_samples.append(drops / arrivals if arrivals > 0 else 0.0)
-        self._arrival_samples.append(arrivals / interval)
-        self._departure_samples.append(transmitted / interval)
-        self.events.schedule(interval, self._sample)
+        queue_buf, loss_buf, arrival_buf, departure_buf = self._link_buffers
+        queue_buf[k] = mean_queue
+        loss_buf[k] = drops / arrivals if arrivals > 0 else 0.0
+        arrival_buf[k] = arrivals / interval
+        departure_buf[k] = transmitted / interval
+        self._sample_idx = k + 1
+        if k + 1 < self._max_samples:
+            # Absolute grid: sample k fires at exactly (k + 1) * interval,
+            # immune to the drift of relative rescheduling.
+            if self._sample_timer is not None:
+                self._sample_timer.schedule_at((k + 2) * interval)
+            else:
+                self.events.schedule_at((k + 2) * interval, self._sample)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -144,40 +187,52 @@ class EmulationRunner:
         """Run the emulation for the configured duration and return its trace."""
         for sender in self.senders.values():
             sender.start()
-        self.events.schedule(self.record_interval_s, self._sample)
+        if self._sample_timer is not None:
+            self._sample_timer.schedule_at(self.record_interval_s)
+        else:
+            self.events.schedule_at(self.record_interval_s, self._sample)
         self.events.run(until=self.config.duration_s)
         return self._build_trace()
 
     def _build_trace(self) -> Trace:
-        time = np.asarray(self._times, dtype=float)
+        n = self._sample_idx
+        interval = self.record_interval_s
+        time = (np.arange(n, dtype=float) + 1.0) * interval
+        rate_buf, delivery_buf, cwnd_buf, inflight_buf, rtt_buf = self._flow_buffers
         flows = []
         for i, flow_cfg in enumerate(self.config.flows):
-            samples = self._flow_samples[i]
             flows.append(
                 FlowTrace(
                     cca=flow_cfg.cca,
-                    rate=np.asarray(samples.rate),
-                    delivery_rate=np.asarray(samples.delivery),
-                    cwnd=np.asarray(samples.cwnd),
-                    inflight=np.asarray(samples.inflight),
-                    rtt=np.asarray(samples.rtt),
+                    rate=rate_buf[i, :n].copy(),
+                    delivery_rate=delivery_buf[i, :n].copy(),
+                    cwnd=cwnd_buf[i, :n].copy(),
+                    inflight=inflight_buf[i, :n].copy(),
+                    rtt=rtt_buf[i, :n].copy(),
                 )
             )
+        queue_buf, loss_buf, arrival_buf, departure_buf = self._link_buffers
         buffer_pkts = float(self.bottleneck.queue.capacity_pkts)
         links = [
             LinkTrace(
                 name="bottleneck",
                 capacity_pps=self.bottleneck.capacity_pps,
                 buffer_pkts=buffer_pkts,
-                queue=np.asarray(self._queue_samples),
-                loss_prob=np.asarray(self._loss_samples),
-                arrival_rate=np.asarray(self._arrival_samples),
-                departure_rate=np.asarray(self._departure_samples),
+                queue=queue_buf[:n].copy(),
+                loss_prob=loss_buf[:n].copy(),
+                arrival_rate=arrival_buf[:n].copy(),
+                departure_rate=departure_buf[:n].copy(),
             )
         ]
         return Trace(time=time, flows=flows, links=links, substrate="emulation")
 
 
-def emulate(config: ScenarioConfig, record_interval_s: float = 0.01) -> Trace:
+def emulate(
+    config: ScenarioConfig,
+    record_interval_s: float = 0.01,
+    scheduler: str = "delayline",
+) -> Trace:
     """Convenience wrapper: build an :class:`EmulationRunner` and run it."""
-    return EmulationRunner(config, record_interval_s=record_interval_s).run()
+    return EmulationRunner(
+        config, record_interval_s=record_interval_s, scheduler=scheduler
+    ).run()

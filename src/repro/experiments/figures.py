@@ -176,8 +176,13 @@ def aggregate_figure(
     short_rtt: bool = False,
     duration_s: float = 5.0,
     dt: float = scenarios.SWEEP_DT,
+    workers: int | None = None,
 ) -> dict[str, dict[str, list[tuple[float, float]]]]:
-    """One aggregate figure: ``{discipline: {mix: [(buffer_bdp, value), ...]}}``."""
+    """One aggregate figure: ``{discipline: {mix: [(buffer_bdp, value), ...]}}``.
+
+    ``workers=N`` fans uncached sweep points out to a process pool (most
+    useful on the emulation substrate, whose points cannot be batched).
+    """
     if metric not in set(AGGREGATE_FIGURES.values()):
         raise ValueError(f"unknown aggregate metric {metric!r}")
     buffers = tuple(buffers_bdp) if buffers_bdp is not None else DEFAULT_SWEEP_BUFFERS
@@ -191,6 +196,7 @@ def aggregate_figure(
         short_rtt=short_rtt,
         duration_s=duration_s,
         dt=dt,
+        workers=workers,
     )
     return {
         discipline: {mix: sweep.series(points, metric, mix, discipline) for mix in mixes}

@@ -14,8 +14,10 @@ The grid is embarrassingly parallel and is exploited two ways:
   single core), and
 * ``workers=N`` opts into a :class:`~concurrent.futures.ProcessPoolExecutor`
   that fans uncached points out to worker processes (useful on multi-core
-  machines and for the emulation substrate).  The in-process cache is
-  consulted before any dispatch.
+  machines and for the emulation substrate, whose points cannot be
+  batched).  The in-process cache is consulted before any dispatch.  The
+  CLI exposes this as ``repro-bbr sweep --workers N`` and
+  ``repro-bbr figure <name> --workers N``.
 """
 
 from __future__ import annotations

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import cli
+from repro.experiments import sweep as sweep_module
 
 
 class TestParser:
@@ -28,6 +29,60 @@ class TestParser:
     def test_figure_choices(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["figure", "fig99"])
+
+    def test_workers_flag_parsed(self):
+        args = cli.build_parser().parse_args(["sweep", "--workers", "4"])
+        assert args.workers == 4
+        args = cli.build_parser().parse_args(["figure", "fig06_fairness", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_workers_default_is_none(self):
+        assert cli.build_parser().parse_args(["sweep"]).workers is None
+        assert cli.build_parser().parse_args(["figure", "fig07_loss"]).workers is None
+
+
+class TestWorkersPlumbing:
+    """--workers must actually reach run_sweep (it used to be dead code)."""
+
+    def _capture_run_sweep(self, monkeypatch):
+        calls = {}
+
+        def fake_run_sweep(*args, **kwargs):
+            calls.update(kwargs)
+            return []
+
+        monkeypatch.setattr(sweep_module, "run_sweep", fake_run_sweep)
+        return calls
+
+    def test_sweep_passes_workers(self, monkeypatch, capsys):
+        calls = self._capture_run_sweep(monkeypatch)
+        cli.main(["sweep", "--mixes", "BBRv1", "--workers", "3"])
+        capsys.readouterr()
+        assert calls["workers"] == 3
+
+    def test_figure_passes_workers(self, monkeypatch, capsys):
+        calls = self._capture_run_sweep(monkeypatch)
+        cli.main(["figure", "fig06_fairness", "--mixes", "BBRv1", "--workers", "5"])
+        capsys.readouterr()
+        assert calls["workers"] == 5
+
+
+class TestEmptyResults:
+    def test_sweep_with_no_points_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setattr(sweep_module, "run_sweep", lambda *a, **k: [])
+        code = cli.main(["sweep", "--mixes", "BBRv1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no points" in captured.err
+
+    def test_theorems_with_no_rows_exits_nonzero(self, monkeypatch, capsys):
+        from repro.experiments import figures as figures_module
+
+        monkeypatch.setattr(figures_module, "theorem_table", lambda **k: [])
+        code = cli.main(["theorems"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no theorem rows" in captured.err
 
 
 class TestExecution:

@@ -268,3 +268,89 @@ class TestBaseProtocol:
         reno = RenoPacket()
         reno.pacing_rate_pps = math.inf
         assert reno.pacing_interval() == 0.0
+
+
+class TestFastPathMatchesSpec:
+    """The inlined hot paths must stay in lockstep with the helper pipeline.
+
+    ``Bbr1Packet.on_ack_fast`` (and the other CCAs' fast entry points)
+    inline the readable helper methods for speed; this drives a long,
+    state-transition-rich sample stream through both formulations and pins
+    them field-for-field so a future edit to either side cannot silently
+    diverge.
+    """
+
+    STATE_FIELDS = (
+        "state",
+        "cwnd_pkts",
+        "pacing_rate_pps",
+        "pacing_gain",
+        "cwnd_gain",
+        "btlbw_pps",
+        "rtprop_s",
+        "_round",
+        "_delivered",
+        "_full_bw_count",
+        "_cycle_index",
+    )
+
+    @staticmethod
+    def _spec_on_ack(cca, sample):
+        # The original (pre-inline) Bbr1Packet.on_ack helper pipeline.
+        round_start = cca._update_round(sample)
+        cca._update_btlbw(sample)
+        cca._update_rtprop(sample)
+        cca._check_full_pipe(round_start)
+        cca._maybe_enter_probe_rtt(sample)
+        cca._apply_state(sample)
+        cca._set_controls()
+
+    def _sample_stream(self):
+        # A stream long and varied enough to visit startup, drain,
+        # probe_bw (with cycle advances) and probe_rtt (> 10 s without a
+        # new RTT minimum), including idle rates and RTT inflation.
+        rng = random.Random(42)
+        now = 0.0
+        for step in range(2200):
+            now += 0.01
+            if step < 300:
+                rtt = 0.03 + 0.02 * rng.random()
+            else:
+                # Flat, inflated RTT: no new minimum, so PROBE_RTT fires
+                # once 10 s pass without refreshing the RTprop window.
+                rtt = 0.05
+            rate = max(0.0, 8000.0 + 4000.0 * rng.random() - (3000.0 if step % 97 == 0 else 0.0))
+            inflight = rng.randrange(1, 400)
+            yield ack(
+                now=now, rtt=rtt, rate=rate, inflight=inflight, seq=step, delivered=step
+            )
+
+    def test_bbr1_on_ack_fast_matches_helper_pipeline(self):
+        fast = Bbr1Packet(rng=random.Random(7), initial_rate_pps=1000.0)
+        spec = Bbr1Packet(rng=random.Random(7), initial_rate_pps=1000.0)
+        states = set()
+        for sample in self._sample_stream():
+            fast.on_ack(sample)
+            self._spec_on_ack(spec, sample)
+            for field in self.STATE_FIELDS:
+                assert getattr(fast, field) == getattr(spec, field), field
+            states.add(fast.state)
+        # The stream must actually have exercised the state machine (drain
+        # usually transits to probe_bw within a single acknowledgement, so
+        # it is not required to be observable between samples).
+        assert {"startup", "probe_bw", "probe_rtt"} <= states
+
+    @pytest.mark.parametrize("cls", [RenoPacket, CubicPacket])
+    def test_loss_based_on_ack_fast_matches_on_ack(self, cls):
+        fast, spec = cls(), cls()
+        for sample in self._sample_stream():
+            fast.on_ack_fast(
+                sample.now,
+                sample.rtt,
+                sample.delivery_rate,
+                sample.inflight,
+                sample.acked_seq,
+                sample.newly_delivered,
+            )
+            spec.on_ack(sample)
+            assert fast.cwnd_pkts == spec.cwnd_pkts
