@@ -37,6 +37,12 @@ TRACE_DURATION = 30.0 if FULL else 10.0
 BENCH_DT = 2.5e-4
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    """Keep benchmarks hermetic: never pick up an operator's REPRO_STORE file."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run a benchmark exactly once (the figures are deterministic and heavy)."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Benchmark of the persistent sweep store: cold vs. warm campaign wall time.
+
+Runs a small seed-replicated emulation sweep twice against the same
+JSON-lines store (in a pytest tmp dir, so CI stays hermetic): the cold run
+computes and persists every (point, seed) replica; the warm run — with the
+in-process cache cleared, as after a process restart — must serve every
+replica from the store without recomputing anything.  Records both wall
+times and the speedup in ``benchmarks/BENCH_sweep_store.json`` and asserts
+
+* the warm run hits the store for *all* points (zero recomputation), and
+* the warm run is at least 10x faster than the cold one (the acceptance
+  floor of the campaign subsystem; measured speedups are orders of
+  magnitude larger because a warm point is one dict lookup).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import sweep
+from repro.experiments.store import SweepStore
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_sweep_store.json"
+
+GRID = dict(
+    mixes=["BBRv1"],
+    buffers_bdp=[1.0, 2.0],
+    disciplines=["droptail"],
+    substrate="emulation",
+    duration_s=1.0,
+)
+SEEDS = 3
+MIN_SPEEDUP = 10.0
+
+
+def test_perf_sweep_store(benchmark, tmp_path):
+    store_path = tmp_path / "sweep_store.jsonl"
+    n_replicas = len(GRID["buffers_bdp"]) * SEEDS
+
+    sweep.clear_cache()
+    cold_store = SweepStore(store_path)
+    start = time.perf_counter()
+    cold_points = sweep.run_sweep(seeds=SEEDS, store=cold_store, **GRID)
+    cold_s = time.perf_counter() - start
+    assert len(cold_store) == n_replicas
+
+    # Clear the in-process cache to model a fresh process; only the store
+    # may serve the warm run.
+    sweep.clear_cache()
+    warm_store = SweepStore(store_path)
+    start = time.perf_counter()
+    warm_points = benchmark.pedantic(
+        lambda: sweep.run_sweep(seeds=SEEDS, store=warm_store, **GRID),
+        rounds=1,
+        iterations=1,
+    )
+    warm_s = time.perf_counter() - start
+
+    assert warm_store.hits == n_replicas, "warm run must hit the store for all points"
+    assert warm_store.misses == 0, "warm run recomputed at least one point"
+    assert [p.summary for p in warm_points] == [p.summary for p in cold_points]
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    results = {
+        "grid": {
+            "mixes": GRID["mixes"],
+            "buffers_bdp": GRID["buffers_bdp"],
+            "disciplines": GRID["disciplines"],
+            "substrate": GRID["substrate"],
+            "duration_s": GRID["duration_s"],
+            "seeds": SEEDS,
+            "replicas": n_replicas,
+        },
+        "cold_wall_s": round(cold_s, 4),
+        "warm_wall_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "warm_store_hits": warm_store.hits,
+        "warm_store_misses": warm_store.misses,
+        "issue_target_speedup": MIN_SPEEDUP,
+    }
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"\nSweep store cold vs warm ({n_replicas} emulation replicas):")
+    print(f"  cold (compute + persist)  {cold_s:8.3f} s")
+    print(f"  warm (store only)         {warm_s:8.3f} s")
+    print(f"  speedup                   {speedup:8.1f}x")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x faster than cold (expected >= {MIN_SPEEDUP}x)"
+    )

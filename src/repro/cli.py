@@ -1,11 +1,18 @@
-"""Command-line interface: run scenarios, sweeps, and figure regenerations.
+"""Command-line interface: run scenarios, sweeps, figures, and campaigns.
 
 Examples::
 
     repro-bbr trace bbr1 --discipline droptail --duration 10
     repro-bbr sweep --substrate fluid --buffers 1 4 7 --mixes BBRv1 BBRv1/RENO
-    repro-bbr figure fig06_fairness
+    repro-bbr sweep --substrate emulation --seeds 5 --store results.jsonl
+    repro-bbr figure fig06_fairness --seeds 3 --csv fig06.csv
+    repro-bbr campaign --store results.jsonl --seeds 5 --workers 4
     repro-bbr theorems
+
+``--seeds K`` replicates every sweep point under K scenario seeds and
+reports mean ± 95% CI per point; ``--store PATH`` (or the ``REPRO_STORE``
+environment variable) persists each completed point immediately, so an
+interrupted sweep or campaign resumes without recomputing finished points.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Sequence
 from .core.simulator import simulate
 from .emulation.runner import emulate
 from .experiments import figures, report, scenarios, sweep
+from .experiments.store import resolve_store
 from .metrics.aggregate import aggregate_metrics
 
 
@@ -29,6 +37,30 @@ def _add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--buffer-bdp", type=float, default=1.0)
 
 
+def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="K",
+        help="replicate every point under K scenario seeds and report mean ± 95%% CI",
+    )
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="persistent JSON-lines result store (defaults to $REPRO_STORE)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan uncached sweep points out to N worker processes",
+    )
+
+
 def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser("sweep", help="run the aggregate-validation sweep")
     parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
@@ -38,13 +70,7 @@ def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--short-rtt", action="store_true")
     parser.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="fan uncached sweep points out to N worker processes",
-    )
+    _add_replication_flags(parser)
 
 
 def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -56,13 +82,34 @@ def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--disciplines", nargs="+", default=None)
     parser.add_argument("--duration", type=float, default=5.0)
     parser.add_argument("--short-rtt", action="store_true")
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="fan uncached sweep points out to N worker processes",
+    parser.add_argument("--csv", type=str, default=None, help="write the figure rows to this CSV file")
+    _add_replication_flags(parser)
+
+
+def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "campaign",
+        help="run (or resume) a seed-replicated sweep over the full grid and export it",
     )
+    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="emulation")
+    parser.add_argument(
+        "--buffers", type=float, nargs="+", default=list(scenarios.BUFFER_SWEEP_BDP)
+    )
+    parser.add_argument("--mixes", nargs="+", default=list(scenarios.CCA_MIXES))
+    parser.add_argument("--disciplines", nargs="+", default=list(scenarios.DISCIPLINES))
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--short-rtt", action="store_true")
+    parser.add_argument(
+        "--csv", type=str, default=None, help="write the mean/std/CI summary rows to this CSV file"
+    )
+    parser.add_argument(
+        "--per-seed-csv",
+        type=str,
+        default=None,
+        help="write the raw per-seed rows to this CSV file",
+    )
+    _add_replication_flags(parser)
+    parser.set_defaults(seeds=5)
 
 
 def _add_theorem_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -81,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_figure_parser(subparsers)
+    _add_campaign_parser(subparsers)
     _add_theorem_parser(subparsers)
     return parser
 
@@ -102,6 +150,25 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summary_display_rows(points: Sequence[sweep.SummaryPoint]) -> list[dict[str, object]]:
+    """Compact mean ± CI table rows for seed-replicated sweep points."""
+    rows: list[dict[str, object]] = []
+    for point in points:
+        row: dict[str, object] = {
+            "mix": point.mix,
+            "buffer_bdp": point.buffer_bdp,
+            "discipline": point.discipline,
+            "substrate": point.substrate,
+            "seeds": point.summary.num_seeds,
+        }
+        means = point.summary.mean.as_dict()
+        cis = point.summary.ci95.as_dict()
+        for name in means:
+            row[name] = report.format_mean_ci(means[name], cis[name])
+        rows.append(row)
+    return rows
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     points = sweep.run_sweep(
         mixes=args.mixes,
@@ -111,6 +178,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         short_rtt=args.short_rtt,
         duration_s=args.duration,
         workers=args.workers,
+        seeds=args.seeds,
+        store=args.store,
     )
     rows = [point.row() for point in points]
     if not rows:
@@ -119,11 +188,35 @@ def _run_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+    display = _summary_display_rows(points) if args.seeds is not None else rows
+    print(report.format_table(list(display[0].keys()), [list(r.values()) for r in display]))
     if args.csv:
         path = report.write_csv(args.csv, rows)
         print(f"wrote {path}")
     return 0
+
+
+def _figure_rows(
+    name: str, metric: str, data: dict[str, dict[str, list[tuple[float, ...]]]]
+) -> list[dict[str, object]]:
+    """Flatten one aggregate figure into CSV-friendly rows."""
+    rows: list[dict[str, object]] = []
+    for discipline, by_mix in data.items():
+        for mix, entries in by_mix.items():
+            for entry in entries:
+                row: dict[str, object] = {
+                    "figure": name,
+                    "discipline": discipline,
+                    "mix": mix,
+                    "buffer_bdp": entry[0],
+                }
+                if len(entry) >= 3:
+                    row[f"{metric}_mean"] = entry[1]
+                    row[f"{metric}_ci95"] = entry[2]
+                else:
+                    row[metric] = entry[1]
+                rows.append(row)
+    return rows
 
 
 def _run_figure(args: argparse.Namespace) -> int:
@@ -137,10 +230,98 @@ def _run_figure(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         short_rtt=args.short_rtt,
         workers=args.workers,
+        seeds=args.seeds,
+        store=args.store,
     )
+    rows = _figure_rows(args.name, metric, data)
+    if not rows:
+        print(
+            "figure produced no points; check --mixes/--buffers/--disciplines",
+            file=sys.stderr,
+        )
+        return 1
     for discipline, by_mix in data.items():
         print(report.series_table(f"{args.name} [{discipline}]", by_mix))
         print()
+    if args.csv:
+        path = report.write_csv(args.csv, rows)
+        print(f"wrote {path}")
+    return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    store = resolve_store(args.store)
+    if store is None:
+        print(
+            "warning: no --store/REPRO_STORE configured; campaign results will "
+            "not be persisted or resumable",
+            file=sys.stderr,
+        )
+    points = sweep.run_sweep(
+        mixes=args.mixes,
+        buffers_bdp=args.buffers,
+        disciplines=args.disciplines,
+        substrate=args.substrate,
+        short_rtt=args.short_rtt,
+        duration_s=args.duration,
+        workers=args.workers,
+        seeds=args.seeds,
+        store=store,
+    )
+    rows = [point.row() for point in points]
+    if not rows:
+        print(
+            "campaign produced no points; check --mixes/--buffers/--disciplines",
+            file=sys.stderr,
+        )
+        return 1
+    display = _summary_display_rows(points)
+    print(report.format_table(list(display[0].keys()), [list(r.values()) for r in display]))
+    if args.csv:
+        path = report.write_csv(args.csv, rows)
+        print(f"wrote {path}")
+    if args.per_seed_csv:
+        if store is not None:
+            # The store indexes every per-seed record this campaign just
+            # ran (or resumed); restrict it to this campaign's grid since
+            # the file may hold other campaigns too.
+            wanted = {
+                (discipline, mix, float(buffer_bdp))
+                for discipline in args.disciplines
+                for mix in args.mixes
+                for buffer_bdp in args.buffers
+            }
+            per_seed = [
+                row
+                for row in store.rows(
+                    substrate=args.substrate,
+                    short_rtt=args.short_rtt,
+                    duration_s=args.duration,
+                )
+                if (row["discipline"], row["mix"], row["buffer_bdp"]) in wanted
+            ]
+        else:
+            # No store: recover the replicas from the in-process cache.
+            per_seed = [
+                sweep.run_point(
+                    mix,
+                    buffer_bdp,
+                    discipline,
+                    substrate=args.substrate,
+                    short_rtt=args.short_rtt,
+                    duration_s=args.duration,
+                    seed=seed,
+                    store=False,
+                ).row()
+                for discipline in args.disciplines
+                for mix in args.mixes
+                for buffer_bdp in args.buffers
+                for seed in range(1, args.seeds + 1)
+            ]
+        path = report.write_csv(args.per_seed_csv, per_seed)
+        print(f"wrote {path}")
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} points)")
     return 0
 
 
@@ -160,6 +341,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _run_trace,
         "sweep": _run_sweep,
         "figure": _run_figure,
+        "campaign": _run_campaign,
         "theorems": _run_theorems,
     }
     return handlers[args.command](args)

@@ -11,6 +11,14 @@ Samples are recorded into preallocated numpy buffers on an absolute time
 grid (sample ``k`` fires at exactly ``(k + 1) * record_interval_s``), so
 emulation trace timestamps line up with the fluid traces' uniform grid
 instead of accumulating floating-point drift from relative rescheduling.
+When ``duration_s`` is not an integer multiple of ``record_interval_s``, a
+final sample is flushed at ``duration_s`` with rates normalised by the
+actual partial-interval length, so the trace covers the full run.
+
+Per-flow randomness is derived via :func:`derive_rng`, which hashes the
+(scenario seed, stream label) pair: every (seed, flow) combination gets an
+independent RNG stream, a prerequisite for uncorrelated multi-seed
+replication in the campaign layer (``repro-bbr campaign --seeds K``).
 
 ``scheduler`` selects the event layer: ``"delayline"`` (default) uses the
 typed delay-line/timer primitives of :mod:`repro.emulation.events`;
@@ -20,6 +28,7 @@ typed delay-line/timer primitives of :mod:`repro.emulation.events`;
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 
@@ -39,6 +48,19 @@ from .queues import make_queue
 SCHEDULERS = ("delayline", "closure")
 
 
+def derive_rng(seed: int, stream: str) -> random.Random:
+    """Derive an independent, collision-free RNG stream from a scenario seed.
+
+    The old affine derivation ``seed + 17 * (i + 1)`` aliased across
+    scenarios (seed 1 / flow 1 and seed 18 / flow 0 shared a stream), which
+    would silently correlate multi-seed replicas.  Hashing the (seed,
+    stream-label) pair instead gives every (scenario seed, stream) its own
+    generator, deterministically across platforms and processes.
+    """
+    digest = hashlib.sha256(f"repro:{seed}:{stream}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:16], "big"))
+
+
 class EmulationRunner:
     """Runs one scenario on the packet-level emulator."""
 
@@ -55,7 +77,7 @@ class EmulationRunner:
         self.config = config
         self.record_interval_s = record_interval_s
         self.scheduler = scheduler
-        self.rng = random.Random(config.seed)
+        self.rng = derive_rng(config.seed, "queue")
         # The closure reference carries its own verbatim pre-change event
         # queue so the benchmark compares full old-vs-new event layers.
         self.events = (
@@ -84,7 +106,7 @@ class EmulationRunner:
         for i, flow_cfg in enumerate(config.flows):
             cca = create_packet_cca(
                 flow_cfg.cca,
-                rng=random.Random(config.seed + 17 * (i + 1)),
+                rng=derive_rng(config.seed, f"flow:{i}"),
                 initial_rate_pps=capacity_pps / config.num_flows,
             )
             self.senders[i] = sender_cls(
@@ -116,6 +138,7 @@ class EmulationRunner:
         self._max_samples = capacity
         self._flow_buffers = np.empty((5, n_flows, capacity))
         self._link_buffers = np.empty((4, capacity))
+        self._time_buf = np.empty(capacity)
         self._prev_sent = [0] * n_flows
         self._prev_delivered = [0] * n_flows
         self._prev_enqueued = 0
@@ -136,6 +159,18 @@ class EmulationRunner:
         if k >= self._max_samples:
             return
         interval = self.record_interval_s
+        self._record((k + 1) * interval, interval)
+        if k + 1 < self._max_samples:
+            # Absolute grid: sample k fires at exactly (k + 1) * interval,
+            # immune to the drift of relative rescheduling.
+            if self._sample_timer is not None:
+                self._sample_timer.schedule_at((k + 2) * interval)
+            else:
+                self.events.schedule_at((k + 2) * interval, self._sample)
+
+    def _record(self, now: float, interval: float) -> None:
+        """Record one sample at absolute time ``now`` covering ``interval`` seconds."""
+        k = self._sample_idx
         rate_buf, delivery_buf, cwnd_buf, inflight_buf, rtt_buf = self._flow_buffers
         prev_sent = self._prev_sent
         prev_delivered = self._prev_delivered
@@ -170,14 +205,19 @@ class EmulationRunner:
         loss_buf[k] = drops / arrivals if arrivals > 0 else 0.0
         arrival_buf[k] = arrivals / interval
         departure_buf[k] = transmitted / interval
+        self._time_buf[k] = now
         self._sample_idx = k + 1
-        if k + 1 < self._max_samples:
-            # Absolute grid: sample k fires at exactly (k + 1) * interval,
-            # immune to the drift of relative rescheduling.
-            if self._sample_timer is not None:
-                self._sample_timer.schedule_at((k + 2) * interval)
-            else:
-                self.events.schedule_at((k + 2) * interval, self._sample)
+
+    def _flush_tail(self) -> None:
+        """Record the final partial interval when ``duration_s`` is not a
+        multiple of ``record_interval_s`` (rates normalised by its actual
+        length), so the trace covers the full run instead of silently
+        dropping the tail."""
+        duration = self.config.duration_s
+        last_t = self._time_buf[self._sample_idx - 1] if self._sample_idx else 0.0
+        partial = duration - last_t
+        if partial > 1e-6 * self.record_interval_s and self._sample_idx < self._max_samples:
+            self._record(duration, partial)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -192,12 +232,12 @@ class EmulationRunner:
         else:
             self.events.schedule_at(self.record_interval_s, self._sample)
         self.events.run(until=self.config.duration_s)
+        self._flush_tail()
         return self._build_trace()
 
     def _build_trace(self) -> Trace:
         n = self._sample_idx
-        interval = self.record_interval_s
-        time = (np.arange(n, dtype=float) + 1.0) * interval
+        time = self._time_buf[:n].copy()
         rate_buf, delivery_buf, cwnd_buf, inflight_buf, rtt_buf = self._flow_buffers
         flows = []
         for i, flow_cfg in enumerate(self.config.flows):

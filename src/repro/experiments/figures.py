@@ -177,11 +177,16 @@ def aggregate_figure(
     duration_s: float = 5.0,
     dt: float = scenarios.SWEEP_DT,
     workers: int | None = None,
-) -> dict[str, dict[str, list[tuple[float, float]]]]:
+    seeds: int | Iterable[int] | None = None,
+    store: Any = None,
+) -> dict[str, dict[str, list[tuple[float, ...]]]]:
     """One aggregate figure: ``{discipline: {mix: [(buffer_bdp, value), ...]}}``.
 
     ``workers=N`` fans uncached sweep points out to a process pool (most
     useful on the emulation substrate, whose points cannot be batched).
+    ``seeds`` replicates every point across scenario seeds, in which case
+    each series entry is a ``(buffer_bdp, mean, ci95)`` triple; ``store``
+    (or the ``REPRO_STORE`` env var) persists points across processes.
     """
     if metric not in set(AGGREGATE_FIGURES.values()):
         raise ValueError(f"unknown aggregate metric {metric!r}")
@@ -197,9 +202,12 @@ def aggregate_figure(
         duration_s=duration_s,
         dt=dt,
         workers=workers,
+        seeds=seeds,
+        store=store,
     )
+    extract = sweep.series_ci if seeds is not None else sweep.series
     return {
-        discipline: {mix: sweep.series(points, metric, mix, discipline) for mix in mixes}
+        discipline: {mix: extract(points, metric, mix, discipline) for mix in mixes}
         for discipline in disciplines
     }
 

@@ -56,23 +56,39 @@ def write_csv(path: str | Path, rows: Sequence[Mapping[str, object]]) -> Path:
     return path
 
 
+def format_mean_ci(mean: float, ci: float, float_format: str = "{:.3f}") -> str:
+    """Render a replicated value as ``mean ± ci`` (95% CI half-width)."""
+    return f"{float_format.format(mean)} ± {float_format.format(ci)}"
+
+
 def series_table(
     title: str,
-    series_by_label: Mapping[str, Sequence[tuple[float, float]]],
+    series_by_label: Mapping[str, Sequence[tuple[float, ...]]],
     x_name: str = "buffer_bdp",
     y_format: str = "{:.3f}",
 ) -> str:
-    """Render several (x, y) series sharing the same x grid as one table."""
+    """Render several series sharing the same x grid as one table.
+
+    Entries may be ``(x, y)`` pairs or — for seed-replicated campaign
+    results — ``(x, mean, ci95)`` triples, rendered as ``mean ± ci``.
+    """
     labels = list(series_by_label)
     if not labels:
         raise ValueError("at least one series is required")
-    x_values = [x for x, _ in series_by_label[labels[0]]]
+    x_values = [point[0] for point in series_by_label[labels[0]]]
     rows = []
     for i, x in enumerate(x_values):
         row: list[object] = [x]
         for label in labels:
             points = series_by_label[label]
-            row.append(points[i][1] if i < len(points) else float("nan"))
+            if i >= len(points):
+                row.append(float("nan"))
+                continue
+            point = points[i]
+            if len(point) >= 3:
+                row.append(format_mean_ci(point[1], point[2], y_format))
+            else:
+                row.append(point[1])
         rows.append(row)
     table = format_table([x_name, *labels], rows, float_format=y_format)
     return f"{title}\n{table}"

@@ -97,6 +97,7 @@ def aggregate_scenario(
     duration_s: float = 5.0,
     dt: float = SWEEP_DT,
     whi_init_bdp: float | None = None,
+    seed: int = 1,
 ) -> ScenarioConfig:
     """Aggregate-validation scenario of Section 4.3 (Figs. 6-10) / Appendix C.
 
@@ -104,6 +105,9 @@ def aggregate_scenario(
     Appendix C variant (5 ms bottleneck delay, 10-20 ms RTTs).  The per-flow
     loss-based initial window is set to the fair-share BDP so that the
     (unmodelled) slow-start phase does not dominate the 5-second average.
+    ``seed`` feeds the packet emulator's randomness (queue RNG and per-flow
+    CCA streams); multi-seed campaigns replicate each point across seeds
+    (the paper averages repeated randomized mininet runs the same way).
     """
     if mix not in CCA_MIXES:
         raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
@@ -126,4 +130,5 @@ def aggregate_scenario(
         discipline=discipline,
         duration_s=duration_s,
         fluid=fluid,
+        seed=seed,
     )

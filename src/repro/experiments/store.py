@@ -1,0 +1,195 @@
+"""Persistent, content-addressed store for sweep/campaign results.
+
+The paper's aggregate figures (Figs. 6-10, 13-17) average many randomized
+runs; recomputing every sweep point inside every process made multi-seed
+campaigns impractical.  This module persists each completed point to disk
+the moment it finishes, keyed by a *stable content hash* of everything that
+determines its result:
+
+* the full :class:`~repro.config.ScenarioConfig` (topology, flows, fluid
+  parameters, duration, **seed**),
+* the substrate (``"fluid"`` or ``"emulation"``) and its sampling
+  parameters (``record_interval_s`` and ``scheduler`` for the emulator),
+* and :data:`SCHEMA_VERSION`, bumped whenever the simulation code changes
+  in a way that invalidates stored results.
+
+The store is an append-only JSON-lines file: one self-describing record per
+point, last-write-wins on key collisions, so interrupted or crashed sweeps
+resume without recomputing finished points and ``--workers N`` process
+pools share completed work across restarts.  Select a store with the
+``REPRO_STORE`` environment variable or the ``--store PATH`` CLI flag::
+
+    REPRO_STORE=results.jsonl repro-bbr sweep --substrate emulation --seeds 5
+    repro-bbr campaign --store results.jsonl --seeds 5
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..config import ScenarioConfig
+from ..metrics.aggregate import AggregateMetrics
+
+#: Bump when simulator/emulator semantics change enough that previously
+#: stored results are no longer comparable with freshly computed ones.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the default store file.
+ENV_VAR = "REPRO_STORE"
+
+
+def stable_hash(obj: Any) -> str:
+    """A stable content hash of a JSON-serialisable object.
+
+    Dictionaries are key-sorted and floats serialised by ``repr`` via
+    ``json.dumps``, so the digest is reproducible across processes and
+    platforms (unlike ``hash()``, which is salted per process).
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def scenario_key(
+    config: ScenarioConfig,
+    substrate: str,
+    record_interval_s: float = 0.01,
+    scheduler: str = "delayline",
+) -> str:
+    """Content-addressed key of one (scenario, substrate, sampling) point.
+
+    The full scenario configuration — including the seed and every fluid
+    parameter — is hashed together with the substrate, the emulator's
+    sampling parameters and :data:`SCHEMA_VERSION`.  The fluid model is
+    deterministic and never consumes the seed (or the emulator's sampling
+    parameters), so those are excluded from fluid keys: seed replicas of a
+    fluid point all resolve to one stored record.
+    """
+    scenario = dataclasses.asdict(config)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "scenario": scenario,
+        "substrate": substrate,
+    }
+    if substrate == "emulation":
+        payload["record_interval_s"] = record_interval_s
+        payload["scheduler"] = scheduler
+    else:
+        scenario.pop("seed", None)
+    return stable_hash(payload)
+
+
+class SweepStore:
+    """An append-only JSON-lines store of computed sweep points.
+
+    Each record carries the content-addressed ``key``, the stored
+    :class:`~repro.metrics.aggregate.AggregateMetrics`, and a ``meta``
+    mapping of human-readable coordinates (mix, buffer, discipline, seed,
+    ...) so per-seed rows are recoverable without re-deriving hashes.
+    ``put`` appends and flushes immediately — every completed point survives
+    a crash of the surrounding sweep.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._index: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # tolerate a torn tail line from a crashed writer
+                if record.get("schema") != SCHEMA_VERSION:
+                    continue
+                key = record.get("key")
+                if isinstance(key, str):
+                    self._index[key] = record
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> AggregateMetrics | None:
+        """Fetch stored metrics by key, counting hits/misses."""
+        record = self._index.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return AggregateMetrics(**record["metrics"])
+
+    def put(
+        self,
+        key: str,
+        metrics: AggregateMetrics,
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Persist one completed point immediately (append + flush)."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "metrics": metrics.as_dict(),
+            "meta": dict(meta) if meta else {},
+        }
+        self._index[key] = record
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all stored records (e.g. to export per-seed rows)."""
+        return iter(self._index.values())
+
+    def rows(self, **filters: Any) -> list[dict[str, Any]]:
+        """Flatten stored records into CSV-friendly rows.
+
+        ``filters`` restrict on ``meta`` fields, e.g.
+        ``store.rows(mix="BBRv1", discipline="droptail")``.
+        """
+        out = []
+        for record in self._index.values():
+            meta = record.get("meta", {})
+            if any(meta.get(name) != value for name, value in filters.items()):
+                continue
+            row = dict(meta)
+            row.update(record["metrics"])
+            out.append(row)
+        return out
+
+
+def resolve_store(
+    store: SweepStore | str | Path | bool | None,
+) -> SweepStore | None:
+    """Coerce a store argument into a :class:`SweepStore` (or ``None``).
+
+    ``None`` falls back to the ``REPRO_STORE`` environment variable; when
+    that is unset too, persistence is disabled.  ``False`` disables the
+    store outright, ignoring the environment — used for process-pool
+    workers, whose results the parent persists centrally.
+    """
+    if store is False:
+        return None
+    if isinstance(store, SweepStore):
+        return store
+    if store is not None and store is not True:
+        return SweepStore(store)
+    env = os.environ.get(ENV_VAR)
+    return SweepStore(env) if env else None

@@ -4,7 +4,25 @@ A sweep runs every combination of CCA mix, buffer size and queue discipline
 on a chosen substrate ("fluid" or "emulation"), computes the aggregate
 metrics of :mod:`repro.metrics.aggregate`, and returns tidy rows.  Because
 the five aggregate figures of the paper all derive from the *same* runs,
-sweep results are cached in-process keyed by their configuration.
+sweep results are cached at two levels:
+
+* an in-process cache keyed by the full point configuration (including the
+  scenario seed and the emulator's sampling parameters), and
+* an optional persistent :class:`~repro.experiments.store.SweepStore`
+  (``store=`` argument, ``--store PATH`` flag or ``REPRO_STORE`` env var):
+  every point is persisted the moment it completes, so interrupted sweeps
+  resume without recomputing finished points and results are shared across
+  processes and ``--workers N`` pools.
+
+The paper's aggregate figures average repeated randomized runs; the
+``seeds`` axis replicates each point under K scenario seeds and aggregates
+the per-seed :class:`~repro.metrics.aggregate.AggregateMetrics` into a
+:class:`~repro.metrics.aggregate.MetricsSummary` (mean/std/95% CI)::
+
+    # single-seed points (back-compatible)
+    points = run_sweep(substrate="emulation")
+    # 5-seed replication with a persistent store
+    summaries = run_sweep(substrate="emulation", seeds=5, store="results.jsonl")
 
 The grid is embarrassingly parallel and is exploited two ways:
 
@@ -15,21 +33,30 @@ The grid is embarrassingly parallel and is exploited two ways:
 * ``workers=N`` opts into a :class:`~concurrent.futures.ProcessPoolExecutor`
   that fans uncached points out to worker processes (useful on multi-core
   machines and for the emulation substrate, whose points cannot be
-  batched).  The in-process cache is consulted before any dispatch.  The
-  CLI exposes this as ``repro-bbr sweep --workers N`` and
-  ``repro-bbr figure <name> --workers N``.
+  batched).  Results are collected with ``as_completed`` and persisted one
+  by one, so a single failing point no longer discards every completed
+  result; worker exceptions are re-raised as :class:`SweepPointError`
+  naming the failing (mix, buffer, discipline, seed) combination.  The CLI
+  exposes all of this as ``repro-bbr sweep/figure/campaign`` with
+  ``--workers N``, ``--seeds K`` and ``--store PATH``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from ..core.simulator import simulate, simulate_many
 from ..emulation.runner import emulate
-from ..metrics.aggregate import AggregateMetrics, aggregate_metrics
+from ..metrics.aggregate import (
+    AggregateMetrics,
+    MetricsSummary,
+    aggregate_metrics,
+    summarize_metrics,
+)
 from . import scenarios
+from .store import SweepStore, resolve_store, scenario_key
 
 SUBSTRATES = ("fluid", "emulation")
 
@@ -37,16 +64,35 @@ SUBSTRATES = ("fluid", "emulation")
 #: integration (bounds the working-set memory of the recording buffers).
 BATCH_CHUNK = 64
 
+#: Default emulator sampling parameters (mirrors ``EmulationRunner``).
+DEFAULT_RECORD_INTERVAL_S = 0.01
+DEFAULT_SCHEDULER = "delayline"
+
+
+class SweepPointError(RuntimeError):
+    """A sweep point failed; carries the failing grid coordinates."""
+
+    def __init__(self, mix: str, buffer_bdp: float, discipline: str, seed: int) -> None:
+        super().__init__(
+            f"sweep point failed: mix={mix!r}, buffer_bdp={buffer_bdp}, "
+            f"discipline={discipline!r}, seed={seed}"
+        )
+        self.mix = mix
+        self.buffer_bdp = buffer_bdp
+        self.discipline = discipline
+        self.seed = seed
+
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (mix, buffer, discipline, substrate) result of a sweep."""
+    """One (mix, buffer, discipline, substrate, seed) result of a sweep."""
 
     mix: str
     buffer_bdp: float
     discipline: str
     substrate: str
     metrics: AggregateMetrics
+    seed: int = 1
 
     def row(self) -> dict[str, float | str]:
         """Flatten into a CSV-friendly dictionary."""
@@ -55,8 +101,37 @@ class SweepPoint:
             "buffer_bdp": self.buffer_bdp,
             "discipline": self.discipline,
             "substrate": self.substrate,
+            "seed": self.seed,
         }
         out.update(self.metrics.as_dict())
+        return out
+
+
+@dataclass(frozen=True)
+class SummaryPoint:
+    """One sweep point replicated across seeds, with mean/std/95% CI."""
+
+    mix: str
+    buffer_bdp: float
+    discipline: str
+    substrate: str
+    summary: MetricsSummary
+    seeds: tuple[int, ...]
+
+    @property
+    def metrics(self) -> AggregateMetrics:
+        """The per-seed mean (lets summary points flow through :func:`series`)."""
+        return self.summary.mean
+
+    def row(self) -> dict[str, float | str]:
+        """Flatten into a CSV-friendly dictionary of mean/std/CI columns."""
+        out: dict[str, float | str] = {
+            "mix": self.mix,
+            "buffer_bdp": self.buffer_bdp,
+            "discipline": self.discipline,
+            "substrate": self.substrate,
+        }
+        out.update(self.summary.as_dict())
         return out
 
 
@@ -77,8 +152,101 @@ def _cache_key(
     duration_s: float,
     dt: float,
     whi_init_bdp: float | None,
+    seed: int,
+    record_interval_s: float,
+    scheduler: str,
 ) -> tuple:
-    return (mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp)
+    # The seed and the emulator's sampling parameters are part of the key:
+    # omitting them aliased points that differ only in seed (or in
+    # record_interval_s/scheduler) onto one cache slot.  The fluid model is
+    # deterministic and consumes none of the three, so fluid points
+    # *should* alias across them — seed replicas of a fluid point are one
+    # computation, not K.
+    if substrate == "fluid":
+        seed = 1
+        record_interval_s = DEFAULT_RECORD_INTERVAL_S
+        scheduler = DEFAULT_SCHEDULER
+    return (
+        mix,
+        buffer_bdp,
+        discipline,
+        substrate,
+        short_rtt,
+        duration_s,
+        dt,
+        whi_init_bdp,
+        seed,
+        record_interval_s,
+        scheduler,
+    )
+
+
+def _seed_list(seeds: int | Sequence[int]) -> list[int]:
+    """Normalise the seeds axis: an int K means seeds 1..K."""
+    if isinstance(seeds, bool):
+        raise ValueError("seeds must be an int count or a sequence of seeds")
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("seed count must be at least 1")
+        return list(range(1, seeds + 1))
+    out = [int(s) for s in seeds]
+    if not out:
+        raise ValueError("at least one seed is required")
+    if len(set(out)) != len(out):
+        raise ValueError("seeds must be distinct")
+    return out
+
+
+def _point_config(
+    mix: str,
+    buffer_bdp: float,
+    discipline: str,
+    short_rtt: bool,
+    duration_s: float,
+    dt: float,
+    whi_init_bdp: float | None,
+    seed: int,
+):
+    return scenarios.aggregate_scenario(
+        mix,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        short_rtt=short_rtt,
+        duration_s=duration_s,
+        dt=dt,
+        whi_init_bdp=whi_init_bdp,
+        seed=seed,
+    )
+
+
+def _store_meta(
+    mix: str,
+    buffer_bdp: float,
+    discipline: str,
+    substrate: str,
+    short_rtt: bool,
+    duration_s: float,
+    dt: float,
+    whi_init_bdp: float | None,
+    seed: int,
+    record_interval_s: float,
+    scheduler: str,
+) -> dict:
+    meta = {
+        "mix": mix,
+        "buffer_bdp": buffer_bdp,
+        "discipline": discipline,
+        "substrate": substrate,
+        "short_rtt": short_rtt,
+        "duration_s": duration_s,
+        "dt": dt,
+        "whi_init_bdp": whi_init_bdp,
+        "seed": seed,
+    }
+    if substrate == "emulation":
+        meta["record_interval_s"] = record_interval_s
+        meta["scheduler"] = scheduler
+    return meta
 
 
 def run_point(
@@ -90,32 +258,90 @@ def run_point(
     duration_s: float = 5.0,
     dt: float = scenarios.SWEEP_DT,
     whi_init_bdp: float | None = None,
+    seed: int = 1,
+    seeds: int | Sequence[int] | None = None,
+    record_interval_s: float = DEFAULT_RECORD_INTERVAL_S,
+    scheduler: str = DEFAULT_SCHEDULER,
     use_cache: bool = True,
-) -> SweepPoint:
-    """Run (or fetch from cache) a single sweep point."""
+    store: SweepStore | str | bool | None = None,
+) -> SweepPoint | SummaryPoint:
+    """Run (or fetch from cache/store) a single sweep point.
+
+    With ``seeds`` set (an int K or an explicit seed sequence) the point is
+    replicated across seeds and a :class:`SummaryPoint` with mean/std/CI is
+    returned; each per-seed replica is individually cached and persisted
+    (fluid replicas alias onto one computation — the fluid model never
+    consumes the seed).  ``store=False`` disables persistence outright,
+    ignoring ``REPRO_STORE``.
+    """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
+    store = resolve_store(store)
+    if seeds is not None:
+        seed_list = _seed_list(seeds)
+        replicas = [
+            run_point(
+                mix,
+                buffer_bdp,
+                discipline,
+                substrate=substrate,
+                short_rtt=short_rtt,
+                duration_s=duration_s,
+                dt=dt,
+                whi_init_bdp=whi_init_bdp,
+                seed=s,
+                record_interval_s=record_interval_s,
+                scheduler=scheduler,
+                use_cache=use_cache,
+                store=store,
+            )
+            for s in seed_list
+        ]
+        return SummaryPoint(
+            mix=mix,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            substrate=substrate,
+            summary=summarize_metrics([p.metrics for p in replicas]),
+            seeds=tuple(seed_list),
+        )
     key = _cache_key(
-        mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp
+        mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
+        whi_init_bdp, seed, record_interval_s, scheduler,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
-    config = scenarios.aggregate_scenario(
-        mix,
-        buffer_bdp=buffer_bdp,
-        discipline=discipline,
-        short_rtt=short_rtt,
-        duration_s=duration_s,
-        dt=dt,
-        whi_init_bdp=whi_init_bdp,
+    config = _point_config(
+        mix, buffer_bdp, discipline, short_rtt, duration_s, dt, whi_init_bdp, seed
     )
-    trace = simulate(config) if substrate == "fluid" else emulate(config)
+    metrics = None
+    if store is not None:
+        skey = scenario_key(config, substrate, record_interval_s, scheduler)
+        metrics = store.get(skey)
+    if metrics is None:
+        if substrate == "fluid":
+            trace = simulate(config)
+        else:
+            trace = emulate(
+                config, record_interval_s=record_interval_s, scheduler=scheduler
+            )
+        metrics = aggregate_metrics(trace)
+        if store is not None:
+            store.put(
+                skey,
+                metrics,
+                meta=_store_meta(
+                    mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
+                    dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                ),
+            )
     point = SweepPoint(
         mix=mix,
         buffer_bdp=buffer_bdp,
         discipline=discipline,
         substrate=substrate,
-        metrics=aggregate_metrics(trace),
+        metrics=metrics,
+        seed=seed,
     )
     if use_cache:
         _CACHE[key] = point
@@ -132,43 +358,110 @@ def run_sweep(
     dt: float = scenarios.SWEEP_DT,
     whi_init_bdp: float | None = None,
     workers: int | None = None,
-) -> list[SweepPoint]:
+    seeds: int | Sequence[int] | None = None,
+    record_interval_s: float = DEFAULT_RECORD_INTERVAL_S,
+    scheduler: str = DEFAULT_SCHEDULER,
+    store: SweepStore | str | bool | None = None,
+) -> list[SweepPoint] | list[SummaryPoint]:
     """Run the full (or a reduced) aggregate-validation sweep.
 
-    ``workers=N`` (N > 1) dispatches uncached points to a process pool;
-    otherwise fluid sweeps run batched in-process via
+    ``seeds`` (an int K or an explicit seed sequence) replicates every grid
+    point across scenario seeds and returns :class:`SummaryPoint` rows with
+    mean/std/95% CI; without it, single-seed :class:`SweepPoint` rows are
+    returned.  The fluid substrate is deterministic, so its seed replicas
+    alias onto a single computation (and a single store record).  ``store``
+    (or the ``REPRO_STORE`` env var) persists each point as soon as it
+    completes, so interrupted sweeps resume without recomputing finished
+    points.
+
+    ``workers=N`` (N > 1) dispatches uncached points to a process pool and
+    collects them with ``as_completed`` (each result is cached and persisted
+    as it lands; a failing point raises :class:`SweepPointError` naming its
+    grid coordinates without discarding completed work).  Otherwise fluid
+    sweeps run batched in-process via
     :func:`~repro.core.simulator.simulate_many` and emulation sweeps run
     serially.  Cached points are never re-dispatched.
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
+    store = resolve_store(store)
     mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
     buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
     disciplines = list(disciplines) if disciplines is not None else list(scenarios.DISCIPLINES)
+    seed_list = _seed_list(seeds) if seeds is not None else [1]
     combos = [
         (discipline, mix, buffer_bdp)
         for discipline in disciplines
         for mix in mixes
         for buffer_bdp in buffers
     ]
+    tasks = [combo + (seed,) for combo in combos for seed in seed_list]
+
+    def task_key(task: tuple) -> tuple:
+        discipline, mix, buffer_bdp, seed = task
+        return _cache_key(
+            mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
+            whi_init_bdp, seed, record_interval_s, scheduler,
+        )
 
     results: dict[tuple, SweepPoint] = {}
     pending: list[tuple] = []
-    for combo in combos:
-        discipline, mix, buffer_bdp = combo
-        key = _cache_key(
-            mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp
-        )
+    pending_keys: set[tuple] = set()
+    duplicates: list[tuple] = []
+    for task in tasks:
+        key = task_key(task)
         if key in _CACHE:
-            results[combo] = _CACHE[key]
-        else:
-            pending.append(combo)
+            results[task] = _CACHE[key]
+            continue
+        if key in pending_keys:
+            # Same cache key as an already-pending task (fluid seed
+            # replicas alias deliberately): compute once, share the result.
+            duplicates.append(task)
+            continue
+        if store is not None:
+            discipline, mix, buffer_bdp, seed = task
+            config = _point_config(
+                mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+                whi_init_bdp, seed,
+            )
+            metrics = store.get(scenario_key(config, substrate, record_interval_s, scheduler))
+            if metrics is not None:
+                point = SweepPoint(
+                    mix=mix,
+                    buffer_bdp=buffer_bdp,
+                    discipline=discipline,
+                    substrate=substrate,
+                    metrics=metrics,
+                    seed=seed,
+                )
+                results[task] = _CACHE[key] = point
+                continue
+        pending.append(task)
+        pending_keys.add(key)
+
+    def persist(task: tuple, point: SweepPoint) -> None:
+        """Land one computed point: in-process cache + persistent store."""
+        results[task] = _CACHE[task_key(task)] = point
+        if store is not None:
+            discipline, mix, buffer_bdp, seed = task
+            config = _point_config(
+                mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+                whi_init_bdp, seed,
+            )
+            store.put(
+                scenario_key(config, substrate, record_interval_s, scheduler),
+                point.metrics,
+                meta=_store_meta(
+                    mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
+                    dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                ),
+            )
 
     if pending and workers is not None and workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
-            for combo in pending:
-                discipline, mix, buffer_bdp = combo
+            for task in pending:
+                discipline, mix, buffer_bdp, seed = task
                 futures[
                     pool.submit(
                         run_point,
@@ -180,66 +473,141 @@ def run_sweep(
                         duration_s=duration_s,
                         dt=dt,
                         whi_init_bdp=whi_init_bdp,
+                        seed=seed,
+                        record_interval_s=record_interval_s,
+                        scheduler=scheduler,
                         use_cache=False,
+                        # The parent persists centrally; workers must not
+                        # open (or pick up via REPRO_STORE) the store file.
+                        store=False,
                     )
-                ] = combo
-            for future, combo in futures.items():
-                results[combo] = future.result()
+                ] = task
+            # as_completed + per-point persistence: the full future set is
+            # drained so every completed point is cached and stored even
+            # when another point fails; the first failure is then re-raised
+            # with its grid coordinates.
+            first_failure: tuple[tuple, Exception] | None = None
+            for future in as_completed(futures):
+                task = futures[future]
+                try:
+                    point = future.result()
+                except Exception as exc:
+                    if first_failure is None:
+                        first_failure = (task, exc)
+                    continue
+                persist(task, point)
+            if first_failure is not None:
+                (discipline, mix, buffer_bdp, seed), exc = first_failure
+                raise SweepPointError(mix, buffer_bdp, discipline, seed) from exc
     elif pending and substrate == "fluid":
         for chunk_start in range(0, len(pending), BATCH_CHUNK):
             chunk = pending[chunk_start : chunk_start + BATCH_CHUNK]
             configs = [
-                scenarios.aggregate_scenario(
-                    mix,
-                    buffer_bdp=buffer_bdp,
-                    discipline=discipline,
-                    short_rtt=short_rtt,
-                    duration_s=duration_s,
-                    dt=dt,
-                    whi_init_bdp=whi_init_bdp,
+                _point_config(
+                    mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+                    whi_init_bdp, seed,
                 )
-                for discipline, mix, buffer_bdp in chunk
+                for discipline, mix, buffer_bdp, seed in chunk
             ]
-            for combo, trace in zip(chunk, simulate_many(configs)):
-                discipline, mix, buffer_bdp = combo
-                results[combo] = SweepPoint(
+            for task, trace in zip(chunk, simulate_many(configs)):
+                discipline, mix, buffer_bdp, seed = task
+                persist(
+                    task,
+                    SweepPoint(
+                        mix=mix,
+                        buffer_bdp=buffer_bdp,
+                        discipline=discipline,
+                        substrate=substrate,
+                        metrics=aggregate_metrics(trace),
+                        seed=seed,
+                    ),
+                )
+    else:
+        # Serial path: compute inline (run_sweep owns all cache and store
+        # writes, so points are not double-persisted through run_point's
+        # own store handling).
+        for task in pending:
+            discipline, mix, buffer_bdp, seed = task
+            try:
+                config = _point_config(
+                    mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+                    whi_init_bdp, seed,
+                )
+                if substrate == "fluid":
+                    trace = simulate(config)
+                else:
+                    trace = emulate(
+                        config,
+                        record_interval_s=record_interval_s,
+                        scheduler=scheduler,
+                    )
+            except Exception as exc:
+                raise SweepPointError(mix, buffer_bdp, discipline, seed) from exc
+            persist(
+                task,
+                SweepPoint(
                     mix=mix,
                     buffer_bdp=buffer_bdp,
                     discipline=discipline,
                     substrate=substrate,
                     metrics=aggregate_metrics(trace),
-                )
-    else:
-        for combo in pending:
-            discipline, mix, buffer_bdp = combo
-            results[combo] = run_point(
-                mix,
-                buffer_bdp,
-                discipline,
-                substrate=substrate,
-                short_rtt=short_rtt,
-                duration_s=duration_s,
-                dt=dt,
-                whi_init_bdp=whi_init_bdp,
-                use_cache=False,
+                    seed=seed,
+                ),
             )
 
-    for combo, point in results.items():
+    for task in duplicates:
+        results[task] = _CACHE[task_key(task)]
+
+    if seeds is None:
+        return [results[combo + (1,)] for combo in combos]
+    summaries: list[SummaryPoint] = []
+    for combo in combos:
         discipline, mix, buffer_bdp = combo
-        key = _cache_key(
-            mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt, whi_init_bdp
+        replicas = [results[combo + (seed,)] for seed in seed_list]
+        summaries.append(
+            SummaryPoint(
+                mix=mix,
+                buffer_bdp=buffer_bdp,
+                discipline=discipline,
+                substrate=substrate,
+                summary=summarize_metrics([p.metrics for p in replicas]),
+                seeds=tuple(seed_list),
+            )
         )
-        _CACHE[key] = point
-    return [results[combo] for combo in combos]
+    return summaries
 
 
 def series(
-    points: Iterable[SweepPoint], metric: str, mix: str, discipline: str
+    points: Iterable[SweepPoint | SummaryPoint], metric: str, mix: str, discipline: str
 ) -> list[tuple[float, float]]:
-    """Extract one figure line: (buffer, metric value) for a mix and discipline."""
+    """Extract one figure line: (buffer, metric value) for a mix and discipline.
+
+    :class:`SummaryPoint` rows contribute their per-seed mean.
+    """
     rows = [
         (p.buffer_bdp, float(p.metrics.as_dict()[metric]))
         for p in points
         if p.mix == mix and p.discipline == discipline
     ]
+    return sorted(rows)
+
+
+def series_ci(
+    points: Iterable[SummaryPoint], metric: str, mix: str, discipline: str
+) -> list[tuple[float, float, float]]:
+    """Extract one mean ± CI figure line: (buffer, mean, ci95 half-width)."""
+    rows = []
+    for p in points:
+        if p.mix != mix or p.discipline != discipline:
+            continue
+        if isinstance(p, SummaryPoint):
+            rows.append(
+                (
+                    p.buffer_bdp,
+                    float(p.summary.mean.as_dict()[metric]),
+                    float(p.summary.ci95.as_dict()[metric]),
+                )
+            )
+        else:
+            rows.append((p.buffer_bdp, float(p.metrics.as_dict()[metric]), 0.0))
     return sorted(rows)

@@ -2,10 +2,12 @@
 
 from .aggregate import (
     AggregateMetrics,
+    MetricsSummary,
     aggregate_metrics,
     buffer_occupancy_percent,
     jitter_ms,
     loss_percent,
+    summarize_metrics,
     utilization_percent,
 )
 from .fairness import jain_index, per_cca_share, trace_fairness
@@ -13,7 +15,9 @@ from .traces import FlowTrace, LinkTrace, Trace, resample
 
 __all__ = [
     "AggregateMetrics",
+    "MetricsSummary",
     "aggregate_metrics",
+    "summarize_metrics",
     "buffer_occupancy_percent",
     "jitter_ms",
     "loss_percent",

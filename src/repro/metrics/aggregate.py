@@ -19,7 +19,9 @@ are evaluated by exactly the same code.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -95,4 +97,70 @@ def aggregate_metrics(trace: Trace) -> AggregateMetrics:
         buffer_occupancy_percent=buffer_occupancy_percent(trace),
         utilization_percent=utilization_percent(trace),
         jitter_ms=jitter_ms(trace),
+    )
+
+
+#: Two-sided 95% Student-t critical values, indexed by degrees of freedom
+#: (1-based; df > 30 falls back to the normal value 1.96).  Enough for the
+#: seed-replication counts the campaigns use, without a scipy dependency.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def _t95(df: int) -> float:
+    if df < 1:
+        return 0.0
+    return _T95[df - 1] if df <= len(_T95) else 1.96
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Mean/std/CI of :class:`AggregateMetrics` replicated across seeds.
+
+    The paper's aggregate figures average repeated randomized mininet runs;
+    this is the corresponding per-point summary: the per-metric sample mean,
+    sample standard deviation (ddof=1) and the half-width of the two-sided
+    95% Student-t confidence interval over ``num_seeds`` replicas.
+    """
+
+    mean: AggregateMetrics
+    std: AggregateMetrics
+    ci95: AggregateMetrics
+    num_seeds: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten into ``{metric}_mean/_std/_ci95`` columns plus the count."""
+        out: dict[str, float] = {}
+        mean, std, ci = self.mean.as_dict(), self.std.as_dict(), self.ci95.as_dict()
+        for name in mean:
+            out[f"{name}_mean"] = mean[name]
+            out[f"{name}_std"] = std[name]
+            out[f"{name}_ci95"] = ci[name]
+        out["num_seeds"] = self.num_seeds
+        return out
+
+
+def summarize_metrics(replicas: Sequence[AggregateMetrics]) -> MetricsSummary:
+    """Aggregate per-seed :class:`AggregateMetrics` into a :class:`MetricsSummary`."""
+    if not replicas:
+        raise ValueError("at least one metrics replica is required")
+    n = len(replicas)
+    names = list(replicas[0].as_dict())
+    values = {name: np.array([r.as_dict()[name] for r in replicas]) for name in names}
+    means = {name: float(np.mean(values[name])) for name in names}
+    if n > 1:
+        stds = {name: float(np.std(values[name], ddof=1)) for name in names}
+        half = _t95(n - 1) / math.sqrt(n)
+        cis = {name: half * stds[name] for name in names}
+    else:
+        stds = {name: 0.0 for name in names}
+        cis = {name: 0.0 for name in names}
+    return MetricsSummary(
+        mean=AggregateMetrics(**means),
+        std=AggregateMetrics(**stds),
+        ci95=AggregateMetrics(**cis),
+        num_seeds=n,
     )

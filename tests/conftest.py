@@ -7,6 +7,12 @@ import pytest
 from repro.config import FluidParams, dumbbell_scenario
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    """Keep tests hermetic: never pick up an operator's REPRO_STORE file."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
 @pytest.fixture(scope="session")
 def short_fluid_params() -> FluidParams:
     """Coarse but fast integration parameters for integration tests."""

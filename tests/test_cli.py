@@ -40,6 +40,24 @@ class TestParser:
         assert cli.build_parser().parse_args(["sweep"]).workers is None
         assert cli.build_parser().parse_args(["figure", "fig07_loss"]).workers is None
 
+    def test_seeds_and_store_flags_parsed(self):
+        args = cli.build_parser().parse_args(
+            ["sweep", "--seeds", "5", "--store", "results.jsonl"]
+        )
+        assert args.seeds == 5
+        assert args.store == "results.jsonl"
+        args = cli.build_parser().parse_args(
+            ["figure", "fig06_fairness", "--seeds", "3", "--store", "s.jsonl", "--csv", "f.csv"]
+        )
+        assert args.seeds == 3 and args.store == "s.jsonl" and args.csv == "f.csv"
+
+    def test_campaign_defaults(self):
+        args = cli.build_parser().parse_args(["campaign"])
+        assert args.substrate == "emulation"
+        assert args.seeds == 5
+        assert args.buffers == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+        assert args.store is None and args.csv is None and args.per_seed_csv is None
+
 
 class TestWorkersPlumbing:
     """--workers must actually reach run_sweep (it used to be dead code)."""
@@ -83,6 +101,21 @@ class TestEmptyResults:
         captured = capsys.readouterr()
         assert code == 1
         assert "no theorem rows" in captured.err
+
+    def test_figure_with_no_points_exits_nonzero(self, monkeypatch, capsys):
+        # Regression: figure used to exit 0 and print nothing on empty data.
+        monkeypatch.setattr(sweep_module, "run_sweep", lambda *a, **k: [])
+        code = cli.main(["figure", "fig06_fairness", "--mixes", "BBRv1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no points" in captured.err
+
+    def test_campaign_with_no_points_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setattr(sweep_module, "run_sweep", lambda *a, **k: [])
+        code = cli.main(["campaign", "--mixes", "BBRv1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no points" in captured.err
 
 
 class TestExecution:
@@ -137,3 +170,111 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "fig09_utilization" in out
+
+    def test_figure_command_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig.csv"
+        code = cli.main(
+            [
+                "figure",
+                "fig09_utilization",
+                "--buffers",
+                "1",
+                "--mixes",
+                "BBRv1",
+                "--disciplines",
+                "droptail",
+                "--duration",
+                "1.0",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        content = csv_path.read_text().strip().splitlines()
+        assert content[0] == "figure,discipline,mix,buffer_bdp,utilization_percent"
+        assert len(content) == 2
+
+    def test_sweep_command_with_seeds_reports_ci(self, tmp_path, capsys):
+        sweep_module.clear_cache()
+        code = cli.main(
+            [
+                "sweep",
+                "--substrate",
+                "emulation",
+                "--seeds",
+                "2",
+                "--store",
+                str(tmp_path / "store.jsonl"),
+                "--buffers",
+                "1",
+                "--mixes",
+                "BBRv1",
+                "--disciplines",
+                "droptail",
+                "--duration",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "±" in out
+        assert "jain_fairness" in out
+
+    def test_campaign_command_runs_and_exports(self, tmp_path, capsys):
+        sweep_module.clear_cache()
+        store_path = tmp_path / "campaign.jsonl"
+        argv = [
+            "campaign",
+            "--substrate",
+            "emulation",
+            "--seeds",
+            "2",
+            "--store",
+            str(store_path),
+            "--buffers",
+            "1",
+            "--mixes",
+            "BBRv1",
+            "--disciplines",
+            "droptail",
+            "--duration",
+            "0.5",
+            "--csv",
+            str(tmp_path / "summary.csv"),
+            "--per-seed-csv",
+            str(tmp_path / "per_seed.csv"),
+        ]
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "±" in out
+        assert store_path.exists()
+        summary = (tmp_path / "summary.csv").read_text().splitlines()
+        assert "jain_fairness_mean" in summary[0]
+        per_seed = (tmp_path / "per_seed.csv").read_text().splitlines()
+        assert len(per_seed) == 3  # header + one row per seed
+        # Resume: a second invocation recomputes nothing and still succeeds.
+        sweep_module.clear_cache()
+        assert cli.main(argv) == 0
+
+    def test_campaign_without_store_warns(self, capsys):
+        sweep_module.clear_cache()
+        code = cli.main(
+            [
+                "campaign",
+                "--substrate",
+                "fluid",
+                "--seeds",
+                "2",
+                "--buffers",
+                "1",
+                "--mixes",
+                "BBRv1",
+                "--disciplines",
+                "droptail",
+                "--duration",
+                "1.0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "not be persisted" in captured.err

@@ -133,6 +133,55 @@ class TestSweep:
         )
         assert again[0] is sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
 
+    def test_cache_key_distinguishes_seed_and_sampling(self):
+        def key(**overrides):
+            params = dict(
+                mix="BBRv1", buffer_bdp=1.0, discipline="droptail",
+                substrate="emulation", short_rtt=False, duration_s=1.0,
+                dt=1e-3, whi_init_bdp=None, seed=1,
+                record_interval_s=0.01, scheduler="delayline",
+            )
+            params.update(overrides)
+            return sweep._cache_key(**params)
+
+        base = key()
+        # Regression: points differing only in seed (or in the emulator's
+        # sampling parameters) used to alias onto one cache slot.
+        assert base != key(seed=2)
+        assert base != key(record_interval_s=0.02)
+        assert base != key(scheduler="closure")
+
+    def test_run_point_caches_seeds_separately(self):
+        first = sweep.run_point(
+            "BBRv1", 1.0, "droptail", substrate="emulation", seed=1, duration_s=0.5
+        )
+        second = sweep.run_point(
+            "BBRv1", 1.0, "droptail", substrate="emulation", seed=2, duration_s=0.5
+        )
+        assert first is not second
+        # Both seeds are served from the cache on re-request.
+        assert (
+            sweep.run_point(
+                "BBRv1", 1.0, "droptail", substrate="emulation", seed=1, duration_s=0.5
+            )
+            is first
+        )
+
+    def test_sweep_point_row_includes_seed(self):
+        point = sweep.run_point("BBRv1", 1.0, "droptail", seed=4, **self.fast_kwargs())
+        assert point.row()["seed"] == 4
+
+    def test_workers_pool_failure_names_combo(self, monkeypatch):
+        # A worker failure must not silently discard completed points and
+        # must identify the failing grid coordinates.
+        with pytest.raises(sweep.SweepPointError) as excinfo:
+            sweep.run_sweep(
+                mixes=["BBRv3-missing"], buffers_bdp=[1.0],
+                disciplines=["droptail"], workers=2, **self.fast_kwargs(),
+            )
+        assert excinfo.value.mix == "BBRv3-missing"
+        assert excinfo.value.buffer_bdp == 1.0
+
     def test_workers_path_matches_serial(self):
         serial = sweep.run_sweep(
             mixes=["BBRv1"], buffers_bdp=[1.0], disciplines=["droptail"], **self.fast_kwargs()
