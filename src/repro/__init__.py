@@ -24,8 +24,15 @@ Quickstart::
     print(aggregate_metrics(trace))
 """
 
-from . import analysis, config, core, emulation, experiments, metrics, units
-from .config import FlowConfig, FluidParams, LinkConfig, ScenarioConfig, dumbbell_scenario
+from . import analysis, config, core, emulation, experiments, metrics, topology, units
+from .config import (
+    FlowConfig,
+    FluidParams,
+    LinkConfig,
+    ScenarioConfig,
+    TopologyConfig,
+    dumbbell_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -36,11 +43,13 @@ __all__ = [
     "emulation",
     "experiments",
     "metrics",
+    "topology",
     "units",
     "FlowConfig",
     "FluidParams",
     "LinkConfig",
     "ScenarioConfig",
+    "TopologyConfig",
     "dumbbell_scenario",
     "__version__",
 ]

@@ -7,12 +7,20 @@ Examples::
     repro-bbr sweep --substrate emulation --seeds 5 --store results.jsonl
     repro-bbr figure fig06_fairness --seeds 3 --csv fig06.csv
     repro-bbr campaign --store results.jsonl --seeds 5 --workers 4
+    repro-bbr topology --preset parking-lot --hops 3
+    repro-bbr sweep --topology parking-lot --hops 3 --mixes BBRv1
     repro-bbr theorems
 
 ``--seeds K`` replicates every sweep point under K scenario seeds and
 reports mean ± 95% CI per point; ``--store PATH`` (or the ``REPRO_STORE``
 environment variable) persists each completed point immediately, so an
 interrupted sweep or campaign resumes without recomputing finished points.
+
+``topology`` runs one multi-bottleneck scenario (parking lot,
+multi-dumbbell, or a one-hop dumbbell) on one or both substrates and
+reports per-link utilization/loss/queue plus per-flow throughput;
+``--topology PRESET`` on ``sweep``/``campaign`` swaps the whole grid onto
+that topology family.
 """
 
 from __future__ import annotations
@@ -21,11 +29,12 @@ import argparse
 import sys
 from typing import Sequence
 
+from . import units
 from .core.simulator import simulate
 from .emulation.runner import emulate
 from .experiments import figures, report, scenarios, sweep
 from .experiments.store import resolve_store
-from .metrics.aggregate import aggregate_metrics
+from .metrics.aggregate import aggregate_metrics, link_metrics
 
 
 def _add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -61,6 +70,27 @@ def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology_axis_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        choices=list(scenarios.TOPOLOGY_PRESETS),
+        default=None,
+        help="swap every grid point onto a multi-bottleneck topology preset",
+    )
+    parser.add_argument(
+        "--hops",
+        type=int,
+        default=3,
+        help="chain length (parking-lot) or dumbbell count (multi-dumbbell)",
+    )
+    parser.add_argument(
+        "--cross-flows",
+        type=int,
+        default=1,
+        help="cross flows per hop (parking-lot) or spanning flows (multi-dumbbell)",
+    )
+
+
 def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser("sweep", help="run the aggregate-validation sweep")
     parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
@@ -71,6 +101,7 @@ def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--short-rtt", action="store_true")
     parser.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
     _add_replication_flags(parser)
+    _add_topology_axis_flags(parser)
 
 
 def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -109,7 +140,52 @@ def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
         help="write the raw per-seed rows to this CSV file",
     )
     _add_replication_flags(parser)
+    _add_topology_axis_flags(parser)
     parser.set_defaults(seeds=5)
+
+
+def _add_topology_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "topology",
+        help="run one multi-bottleneck scenario and report per-link/per-flow results",
+    )
+    parser.add_argument(
+        "--preset", choices=list(scenarios.TOPOLOGY_PRESETS), default="parking-lot"
+    )
+    parser.add_argument(
+        "--hops",
+        type=int,
+        default=3,
+        help="chain length (parking-lot) or dumbbell count (multi-dumbbell)",
+    )
+    parser.add_argument(
+        "--cross-flows",
+        type=int,
+        default=1,
+        help="cross flows per hop (parking-lot) or spanning flows (multi-dumbbell)",
+    )
+    parser.add_argument("--mix", choices=sorted(scenarios.CCA_MIXES), default="BBRv1")
+    parser.add_argument(
+        "--cross-cca",
+        choices=["reno", "cubic", "bbr1", "bbr2"],
+        default="cubic",
+        help="CCA of the cross/spanning flows",
+    )
+    parser.add_argument(
+        "--substrate", choices=["fluid", "emulation", "both"], default="both"
+    )
+    parser.add_argument("--buffer-bdp", type=float, default=1.0)
+    parser.add_argument(
+        "--discipline", choices=list(scenarios.DISCIPLINES), default="droptail"
+    )
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="write the per-link and per-flow rows to this CSV file",
+    )
 
 
 def _add_theorem_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -129,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_campaign_parser(subparsers)
+    _add_topology_parser(subparsers)
     _add_theorem_parser(subparsers)
     return parser
 
@@ -180,6 +257,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         seeds=args.seeds,
         store=args.store,
+        topology=args.topology,
+        hops=args.hops,
+        cross_flows=args.cross_flows,
     )
     rows = [point.row() for point in points]
     if not rows:
@@ -267,6 +347,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         seeds=args.seeds,
         store=store,
+        topology=args.topology,
+        hops=args.hops,
+        cross_flows=args.cross_flows,
     )
     rows = [point.row() for point in points]
     if not rows:
@@ -291,13 +374,23 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 for mix in args.mixes
                 for buffer_bdp in args.buffers
             }
+            # The topology axis is part of the record identity: a dumbbell
+            # campaign must not export parking-lot rows sharing the same
+            # (mix, buffer, discipline) coordinates, and a hops=3 campaign
+            # must not export hops=4 rows from the same store file.
+            topology = None if args.topology in (None, "dumbbell") else args.topology
+            filters = dict(
+                substrate=args.substrate,
+                short_rtt=args.short_rtt,
+                duration_s=args.duration,
+                topology=topology,
+            )
+            if topology is not None:
+                filters["hops"] = args.hops
+                filters["cross_flows"] = args.cross_flows
             per_seed = [
                 row
-                for row in store.rows(
-                    substrate=args.substrate,
-                    short_rtt=args.short_rtt,
-                    duration_s=args.duration,
-                )
+                for row in store.rows(**filters)
                 if (row["discipline"], row["mix"], row["buffer_bdp"]) in wanted
             ]
         else:
@@ -312,6 +405,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
                     duration_s=args.duration,
                     seed=seed,
                     store=False,
+                    topology=args.topology,
+                    hops=args.hops,
+                    cross_flows=args.cross_flows,
                 ).row()
                 for discipline in args.disciplines
                 for mix in args.mixes
@@ -322,6 +418,71 @@ def _run_campaign(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
     if store is not None:
         print(f"store: {store.path} ({len(store)} points)")
+    return 0
+
+
+def _topology_flow_rows(config, trace, substrate: str) -> list[dict[str, object]]:
+    """Per-flow rows of one topology run (throughput, RTT, path)."""
+    topo = config.effective_topology()
+    rows: list[dict[str, object]] = []
+    for i, flow in enumerate(trace.flows):
+        rtt = flow.rtt[flow.rtt > 0]
+        rows.append(
+            {
+                "substrate": substrate,
+                "flow": f"flow-{i}",
+                "cca": flow.cca,
+                "path": ">".join(topo.paths[i]),
+                "throughput_mbps": units.pps_to_mbps(flow.mean_goodput()),
+                "mean_rtt_ms": 1000.0 * float(rtt.mean()) if len(rtt) else 0.0,
+            }
+        )
+    return rows
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    config = scenarios.topology_scenario(
+        args.preset,
+        mix=args.mix,
+        hops=args.hops,
+        cross_flows=args.cross_flows,
+        cross_cca=args.cross_cca,
+        buffer_bdp=args.buffer_bdp,
+        discipline=args.discipline,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    substrates = ["fluid", "emulation"] if args.substrate == "both" else [args.substrate]
+    csv_rows: list[dict[str, object]] = []
+    for substrate in substrates:
+        trace = simulate(config) if substrate == "fluid" else emulate(config)
+        metrics = link_metrics(trace)
+        link_rows = [
+            {"substrate": substrate, **row} for row in report.link_rows(metrics)
+        ]
+        flow_rows = _topology_flow_rows(config, trace, substrate)
+        print(f"{args.preset} (hops={args.hops}, cross_flows={args.cross_flows}) "
+              f"[{substrate}] — per-link")
+        print(report.link_table(metrics))
+        print()
+        print(f"{args.preset} [{substrate}] — per-flow")
+        print(report.format_table(list(flow_rows[0].keys()),
+                                  [list(r.values()) for r in flow_rows]))
+        print()
+        for row in link_rows:
+            csv_rows.append({"kind": "link", **row})
+        for row in flow_rows:
+            csv_rows.append({"kind": "flow", **row})
+    if args.csv:
+        # One file, two row kinds: normalise to the union of the columns.
+        fields: list[str] = []
+        for row in csv_rows:
+            for name in row:
+                if name not in fields:
+                    fields.append(name)
+        normalised = [{name: row.get(name, "") for name in fields} for row in csv_rows]
+        path = report.write_csv(args.csv, normalised)
+        print(f"wrote {path}")
     return 0
 
 
@@ -342,6 +503,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _run_sweep,
         "figure": _run_figure,
         "campaign": _run_campaign,
+        "topology": _run_topology,
         "theorems": _run_theorems,
     }
     return handlers[args.command](args)

@@ -1,12 +1,28 @@
 """Scenario configuration dataclasses shared by the fluid model and the
 packet-level emulator.
 
-A scenario is a dumbbell network (the topology used throughout the paper,
-Fig. 3): ``N`` senders, each connected to a switch over its own unsaturated
-access link, and a single shared bottleneck link between the switch and the
-destination.  The configuration captures everything both substrates need:
-link capacity, buffer size, propagation delays, queue discipline, the CCA
-run by each sender, and numerical parameters of the fluid model.
+The paper evaluates exclusively on the dumbbell of Fig. 3: ``N`` senders,
+each connected to a switch over its own unsaturated access link, and a
+single shared bottleneck link between the switch and the destination.  That
+remains the default scenario shape (``bottleneck=`` + ``flows=``), but a
+scenario may instead carry an explicit :class:`TopologyConfig` — a set of
+named queued links plus one link-name path per flow — which opens the
+multi-bottleneck topologies the paper lists as future work (parking-lot
+chains, multi-dumbbell cross-traffic; builders in :mod:`repro.topology`).
+
+The legacy single-bottleneck form is a thin wrapper over a one-hop
+topology: :meth:`ScenarioConfig.effective_topology` maps it onto a single
+named link traversed by every flow, and both substrates consume only the
+effective topology, so the two forms are interchangeable (and equivalence
+is tested bit-for-bit in ``tests/test_topology.py``).
+
+The configuration captures everything both substrates need: link
+capacities, buffer sizes, propagation delays, queue disciplines, per-flow
+paths, the CCA run by each sender, and numerical parameters of the fluid
+model.  Buffer sizes everywhere are expressed in multiples of the
+*reference-bottleneck* BDP: the reference link's capacity times the mean
+propagation RTT over all flows (for a dumbbell this is the paper's
+bottleneck BDP).
 """
 
 from __future__ import annotations
@@ -32,15 +48,20 @@ class LinkConfig:
     Attributes:
         capacity_mbps: transmission capacity in Mbps.
         delay_s: one-way propagation delay in seconds.
-        buffer_bdp: buffer size expressed in multiples of the bottleneck BDP
-            (the paper sweeps 1..7 BDP).  ``math.inf`` means unbounded.
+        buffer_bdp: buffer size expressed in multiples of the reference
+            bottleneck BDP (the paper sweeps 1..7 BDP).  ``math.inf`` means
+            unbounded.
         discipline: ``"droptail"`` or ``"red"``.
+        name: identifier used by :class:`TopologyConfig` paths and per-link
+            trace/metric output.  Optional for the legacy single-bottleneck
+            form (where it defaults to ``"bottleneck"``).
     """
 
     capacity_mbps: float
     delay_s: float
     buffer_bdp: float = 1.0
     discipline: str = "droptail"
+    name: str = ""
 
     def __post_init__(self) -> None:
         if self.capacity_mbps <= 0:
@@ -80,6 +101,101 @@ class FlowConfig:
             raise ValueError("access delay must be non-negative")
         if self.start_time_s < 0:
             raise ValueError("start time must be non-negative")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """A multi-link topology: named queued links plus one link path per flow.
+
+    Every link is a queued (finite-capacity) link; the per-flow unsaturated
+    access links of Fig. 3 are implicit — each flow still owns one, with the
+    delay given by its :class:`FlowConfig.access_delay_s`.  A flow's forward
+    path is therefore (its access link, then ``paths[i]`` in order), and the
+    return (ACK) path is a pure propagation delay of the same total length
+    (symmetric routing, as in the dumbbell).
+
+    Attributes:
+        links: the queued links.  Every link must carry a unique, non-empty
+            ``name``; link buffers are expressed in multiples of the
+            *reference* bottleneck BDP (see ``reference``).
+        paths: one entry per flow: the ordered tuple of link names the flow
+            traverses.  ``len(paths)`` must equal the scenario's flow count.
+        reference: name of the reference bottleneck link that defines the
+            scenario BDP (reference capacity x mean propagation RTT over all
+            flows).  Defaults to the smallest-capacity link.
+    """
+
+    links: tuple[LinkConfig, ...]
+    paths: tuple[tuple[str, ...], ...]
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "paths", tuple(tuple(p) for p in self.paths))
+        if not self.links:
+            raise ValueError("a topology needs at least one link")
+        names = [link.name for link in self.links]
+        if any(not name for name in names):
+            raise ValueError("every topology link needs a non-empty name")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate link names in topology: {names}")
+        if not self.paths:
+            raise ValueError("a topology needs at least one flow path")
+        known = set(names)
+        for i, path in enumerate(self.paths):
+            if not path:
+                raise ValueError(f"path of flow {i} is empty")
+            unknown = [name for name in path if name not in known]
+            if unknown:
+                raise ValueError(f"path of flow {i} references unknown links {unknown}")
+            if len(set(path)) != len(path):
+                raise ValueError(f"path of flow {i} traverses a link twice: {path}")
+        if not self.reference:
+            smallest = min(self.links, key=lambda link: link.capacity_mbps)
+            object.__setattr__(self, "reference", smallest.name)
+        if self.reference not in known:
+            raise ValueError(f"unknown reference link {self.reference!r}")
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    @property
+    def link_names(self) -> tuple[str, ...]:
+        return tuple(link.name for link in self.links)
+
+    def link(self, name: str) -> LinkConfig:
+        """The link configuration registered under ``name``."""
+        for link in self.links:
+            if link.name == name:
+                return link
+        raise KeyError(f"unknown link {name!r}")
+
+    @property
+    def reference_link(self) -> LinkConfig:
+        return self.link(self.reference)
+
+    def path_delay_s(self, flow_index: int) -> float:
+        """One-way propagation delay of a flow's queued-link path (no access link)."""
+        return sum(self.link(name).delay_s for name in self.paths[flow_index])
+
+    def with_buffer(self, buffer_bdp: float) -> "TopologyConfig":
+        """Copy with every link's buffer set to ``buffer_bdp`` reference BDPs."""
+        return dataclasses.replace(
+            self,
+            links=tuple(
+                dataclasses.replace(link, buffer_bdp=buffer_bdp) for link in self.links
+            ),
+        )
+
+    def with_discipline(self, discipline: str) -> "TopologyConfig":
+        """Copy with every link's queue discipline replaced."""
+        return dataclasses.replace(
+            self,
+            links=tuple(
+                dataclasses.replace(link, discipline=discipline) for link in self.links
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -142,21 +258,29 @@ class FluidParams:
 
 @dataclass(frozen=True)
 class ScenarioConfig:
-    """A complete dumbbell scenario.
+    """A complete scenario: a dumbbell, or an explicit multi-link topology.
 
     Attributes:
-        bottleneck: configuration of the shared bottleneck link.
+        bottleneck: configuration of the shared bottleneck link (legacy
+            single-bottleneck form).  When ``topology`` is set this field is
+            a derived mirror of the topology's reference link, kept so every
+            single-bottleneck accessor (``bottleneck_bdp_packets``,
+            ``buffer_packets``, ...) stays meaningful; pass ``None`` then.
         flows: per-sender configurations.
         duration_s: simulated time.
         fluid: numerical parameters for the fluid-model substrate.
         seed: seed for any randomness in the packet-level emulator.
+        topology: optional explicit :class:`TopologyConfig`; its ``paths``
+            must list one link path per flow.  ``None`` means the implicit
+            one-hop dumbbell over ``bottleneck``.
     """
 
-    bottleneck: LinkConfig
+    bottleneck: LinkConfig | None
     flows: tuple[FlowConfig, ...]
     duration_s: float = 5.0
     fluid: FluidParams = field(default_factory=FluidParams)
     seed: int = 1
+    topology: TopologyConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.flows:
@@ -164,14 +288,45 @@ class ScenarioConfig:
         if self.duration_s <= 0:
             raise ValueError("duration must be positive")
         object.__setattr__(self, "flows", tuple(self.flows))
+        if self.topology is None:
+            if self.bottleneck is None:
+                raise ValueError("a scenario needs a bottleneck or a topology")
+        else:
+            if len(self.topology.paths) != len(self.flows):
+                raise ValueError(
+                    f"topology has {len(self.topology.paths)} paths for "
+                    f"{len(self.flows)} flows"
+                )
+            # The mirror keeps the legacy single-bottleneck accessors (and
+            # anything reading ``config.bottleneck``) pointed at the
+            # reference link; it is always re-derived so there is a single
+            # source of truth.
+            object.__setattr__(self, "bottleneck", self.topology.reference_link)
 
     @property
     def num_flows(self) -> int:
         return len(self.flows)
 
+    def effective_topology(self) -> TopologyConfig:
+        """The explicit topology, or the one-hop wrapper over ``bottleneck``.
+
+        Both substrates consume only this: the legacy dumbbell is exactly a
+        one-hop topology whose single link every flow traverses.
+        """
+        if self.topology is not None:
+            return self.topology
+        link = self.bottleneck
+        if not link.name:
+            link = dataclasses.replace(link, name="bottleneck")
+        return TopologyConfig(
+            links=(link,), paths=((link.name,),) * self.num_flows, reference=link.name
+        )
+
     def rtt_s(self, flow_index: int) -> float:
         """Two-way propagation delay of a flow's path (no queueing)."""
         flow = self.flows[flow_index]
+        if self.topology is not None:
+            return 2.0 * (flow.access_delay_s + self.topology.path_delay_s(flow_index))
         return 2.0 * (flow.access_delay_s + self.bottleneck.delay_s)
 
     def mean_rtt_s(self) -> float:
@@ -179,23 +334,37 @@ class ScenarioConfig:
         return sum(self.rtt_s(i) for i in range(self.num_flows)) / self.num_flows
 
     def bottleneck_bdp_packets(self) -> float:
-        """Bottleneck BDP in packets using the mean propagation RTT."""
+        """Reference-bottleneck BDP in packets using the mean propagation RTT."""
         return units.bdp_packets(self.bottleneck.capacity_pps, self.mean_rtt_s())
 
     def buffer_packets(self) -> float:
-        """Bottleneck buffer size in packets."""
-        if math.isinf(self.bottleneck.buffer_bdp):
+        """Reference-bottleneck buffer size in packets."""
+        return self.link_buffer_packets(self.bottleneck)
+
+    def link_buffer_packets(self, link: LinkConfig | str) -> float:
+        """Buffer size of a topology link in packets (reference-BDP scaled)."""
+        if isinstance(link, str):
+            link = self.effective_topology().link(link)
+        if math.isinf(link.buffer_bdp):
             return math.inf
-        return self.bottleneck.buffer_bdp * self.bottleneck_bdp_packets()
+        return link.buffer_bdp * self.bottleneck_bdp_packets()
 
     def with_buffer(self, buffer_bdp: float) -> "ScenarioConfig":
-        """Return a copy of the scenario with a different buffer size."""
+        """Return a copy with a different buffer size (every queued link)."""
+        if self.topology is not None:
+            return dataclasses.replace(
+                self, topology=self.topology.with_buffer(buffer_bdp)
+            )
         return dataclasses.replace(
             self, bottleneck=dataclasses.replace(self.bottleneck, buffer_bdp=buffer_bdp)
         )
 
     def with_discipline(self, discipline: str) -> "ScenarioConfig":
-        """Return a copy of the scenario with a different queue discipline."""
+        """Return a copy with a different queue discipline (every queued link)."""
+        if self.topology is not None:
+            return dataclasses.replace(
+                self, topology=self.topology.with_discipline(discipline)
+            )
         return dataclasses.replace(
             self, bottleneck=dataclasses.replace(self.bottleneck, discipline=discipline)
         )

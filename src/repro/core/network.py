@@ -4,10 +4,11 @@ The network consists of links with capacity ``C_l``, buffer ``B_l`` and
 propagation delay ``d_l``; each flow (agent) follows a path, i.e. an ordered
 sequence of links.  The evaluation of the paper exclusively uses the
 dumbbell topology of Fig. 3 (private access links into a switch, one shared
-bottleneck link to the destination), which :func:`Network.dumbbell` builds,
-but the data structures support arbitrary single-path topologies so that
-multi-bottleneck scenarios — listed as future work in the paper — can be
-expressed as well.
+bottleneck link to the destination), which :func:`Network.dumbbell` builds;
+:func:`Network.from_topology` builds the multi-bottleneck topologies
+(parking lots, multi-dumbbells — listed as future work in the paper) from
+an explicit :class:`~repro.config.TopologyConfig`, and
+:func:`Network.from_scenario` dispatches between the two forms.
 """
 
 from __future__ import annotations
@@ -90,6 +91,56 @@ class Network:
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_scenario(cls, config: ScenarioConfig) -> "Network":
+        """Build the network a scenario describes (dumbbell or explicit topology)."""
+        if config.topology is not None:
+            return cls.from_topology(config)
+        return cls.dumbbell(config)
+
+    @classmethod
+    def from_topology(cls, config: ScenarioConfig) -> "Network":
+        """Build a multi-bottleneck network from an explicit topology.
+
+        Layout mirrors :meth:`dumbbell` (queued links first, then one access
+        link per flow), so a one-hop topology produces a structurally — and
+        numerically — identical network to the legacy dumbbell.  Link
+        buffers are scaled by the reference-bottleneck BDP; the return path
+        is a pure propagation delay matching the forward path (symmetric
+        routing).
+        """
+        topo = config.topology
+        if topo is None:
+            raise ValueError("scenario has no explicit topology")
+        links: list[Link] = []
+        index: dict[str, int] = {}
+        for link_cfg in topo.links:
+            links.append(
+                Link(
+                    capacity_pps=link_cfg.capacity_pps,
+                    delay_s=link_cfg.delay_s,
+                    buffer_pkts=config.link_buffer_packets(link_cfg),
+                    discipline=link_cfg.discipline,
+                    name=link_cfg.name,
+                )
+            )
+            index[link_cfg.name] = len(links) - 1
+        paths: list[Path] = []
+        for i, flow in enumerate(config.flows):
+            access = Link(
+                capacity_pps=math.inf,
+                delay_s=flow.access_delay_s,
+                name=f"access-{i}",
+            )
+            links.append(access)
+            access_idx = len(links) - 1
+            forward = (access_idx,) + tuple(index[name] for name in topo.paths[i])
+            return_delay = flow.access_delay_s + sum(
+                topo.link(name).delay_s for name in topo.paths[i]
+            )
+            paths.append(Path(link_indices=forward, return_delay_s=return_delay))
+        return cls(links, paths)
 
     @classmethod
     def dumbbell(cls, config: ScenarioConfig) -> "Network":

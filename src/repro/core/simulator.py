@@ -32,6 +32,16 @@ same floating-point operations in the same order and produce identical
 traces (asserted by the equivalence tests in
 ``tests/test_simulator_vectorized.py``).
 
+Both pipelines execute arbitrary multi-bottleneck topologies
+(:class:`~repro.config.TopologyConfig`; parking lots, multi-dumbbells): all
+K queued links integrate their queue/loss state together, per-flow path
+latency sums the per-link queueing delays (Eq. 3), and a flow crossing
+several queued links observes the composed path loss ``1 - prod(1 - p_l)``
+with per-link backward delays (Eq. 7 generalised).  The delivery rate
+(Eq. 17) is attenuated at the flow's smallest-capacity queued link.  Flows
+crossing a single queued link take exactly the legacy single-bottleneck
+code path, so a one-hop topology is bit-identical with the dumbbell form.
+
 The per-flow CCA dynamics live in :mod:`repro.core.reno`, ``cubic``,
 ``bbr1`` and ``bbr2``; the simulator is agnostic to them and supports
 arbitrary mixes of CCAs, which is how the heterogeneous scenarios of the
@@ -81,7 +91,7 @@ class FluidSimulator:
         if record_interval_s < config.fluid.dt:
             raise ValueError("record interval must be at least one integration step")
         self.config = config
-        self.network = network if network is not None else Network.dumbbell(config)
+        self.network = network if network is not None else Network.from_scenario(config)
         self.dt = config.fluid.dt
         self.record_interval_s = record_interval_s
         self.vectorized = vectorized
@@ -175,6 +185,32 @@ class FluidSimulator:
             [btl_pos, num_queued + btl_pos, 2 * num_queued + btl_pos]
         )
         obs_lags = np.concatenate([back_lags, back_lags, back_lags])
+
+        # Multi-bottleneck paths: a flow crossing several queued links
+        # observes the *composed* path loss 1 - prod_l (1 - p_l), each link's
+        # loss delayed by its own backward delay (Eq. 7 generalised to K
+        # links).  Flows with a single queued link keep the direct bottleneck
+        # gather above — bit-identical with the legacy dumbbell pipeline.
+        multi_flows: list[int] = []
+        multi_cols: list[int] = []
+        multi_delays: list[float] = []
+        multi_bounds = [0]
+        for i in range(num_flows):
+            queued_on_path = [
+                idx for idx in net.paths[i].link_indices if idx in pos_of_link
+            ]
+            if len(queued_on_path) < 2:
+                continue
+            multi_flows.append(i)
+            for idx in queued_on_path:
+                multi_cols.append(2 * num_queued + pos_of_link[idx])
+                multi_delays.append(net.backward_delay(i, idx))
+            multi_bounds.append(len(multi_cols))
+        if multi_flows:
+            multi_flows_arr = np.array(multi_flows, dtype=np.intp)
+            multi_cols_arr = np.array(multi_cols, dtype=np.intp)
+            multi_lags = link_history.lag_steps(np.array(multi_delays, dtype=float))
+            multi_starts = np.array(multi_bounds[:-1], dtype=np.intp)
 
         # Path latency (Eq. 3) = constant propagation part + incidence
         # matrix times the per-link queueing delays.
@@ -313,6 +349,11 @@ class FluidSimulator:
             y_delayed = obs[:num_flows]
             q_delayed = obs[num_flows : 2 * num_flows]
             p_delayed = obs[2 * num_flows :]
+            if multi_flows:
+                survive = 1.0 - link_history.gather(multi_cols_arr, multi_lags)
+                p_delayed[multi_flows_arr] = 1.0 - np.multiply.reduceat(
+                    survive, multi_starts
+                )
             has_arrival = y_delayed > 0
             saturated = (q_delayed > 0) | (y_delayed > btl_capacity)
             y_safe = np.where(has_arrival, y_delayed, 1.0)
@@ -505,6 +546,17 @@ class FluidSimulator:
             idx: np.array([net.forward_delay(i, idx) for i in users[idx]])
             for idx in queued_links
         }
+        # Per-flow queued links on the path (for composed multi-bottleneck
+        # loss) and their backward delays.  Single-queued-link flows keep the
+        # direct bottleneck lookup below, bit-identical with the legacy path.
+        queued_on_path = {
+            i: [idx for idx in net.paths[i].link_indices if net.links[idx].has_queue]
+            for i in range(num_flows)
+        }
+        path_back_delays = {
+            i: [net.backward_delay(i, idx) for idx in queued_on_path[i]]
+            for i in range(num_flows)
+        }
 
         queue_lengths = {idx: 0.0 for idx in queued_links}
         current_latency = propagation_rtt.copy()
@@ -564,8 +616,17 @@ class FluidSimulator:
                     )
                 else:
                     delivery_rates[i] = min(own_delayed, link.capacity_pps)
-                # Path loss (Eq. 7), observed one backward delay later.
-                path_loss = loss_history.at_delay(btl, d_b)
+                # Path loss (Eq. 7), observed one backward delay later.  On a
+                # multi-bottleneck path the per-link losses compose as
+                # 1 - prod_l (1 - p_l), each with its own backward delay.
+                links_on_path = queued_on_path[i]
+                if len(links_on_path) == 1:
+                    path_loss = loss_history.at_delay(btl, d_b)
+                else:
+                    survive = 1.0
+                    for idx, back in zip(links_on_path, path_back_delays[i]):
+                        survive *= 1.0 - loss_history.at_delay(idx, back)
+                    path_loss = 1.0 - survive
 
                 inputs = FlowInputs(
                     t=t,
@@ -774,7 +835,14 @@ def simulate_many(
         flow_bounds.append(len(combined_flows))
 
     network = Network(combined_links, combined_paths)
-    merged_config = dataclasses.replace(first, flows=tuple(combined_flows))
+    # The merged scenario only carries the flows and the global fluid
+    # numerics; the combined network (which already encodes every
+    # scenario's topology) is passed explicitly, so any per-scenario
+    # topology must not survive into the merged config (its path count
+    # would not match the combined flow population).
+    merged_config = dataclasses.replace(
+        first, flows=tuple(combined_flows), topology=None
+    )
     combined = FluidSimulator(
         merged_config,
         models=models,

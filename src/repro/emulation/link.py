@@ -1,9 +1,12 @@
 """Bottleneck link of the emulator: a packet queue plus a serialising transmitter.
 
-The dumbbell's access links are never saturated (Fig. 3), so they are pure
-propagation delays handled by the sender/receiver scheduling; only the
-shared bottleneck link owns a queue and a transmitter that serialises
-packets at the configured capacity.
+The access links are never saturated (Fig. 3), so they are pure propagation
+delays handled by the sender/receiver scheduling; only queued (topology)
+links own a queue and a transmitter that serialises packets at the
+configured capacity.  Multi-bottleneck topologies chain several of these
+links: the runner wires per-flow routes (:meth:`BottleneckLink.set_routes`)
+that push a departing packet either onto the forward delay line of the next
+hop or — at the flow's last hop — onto the fused return path.
 
 The transmitter is *virtual*: because service times are constant and the
 queue is FIFO, the start and departure times of every admitted packet are
@@ -17,13 +20,14 @@ instant the event-driven transmitter would have produced.  Queue-length
 statistics and the ``transmitted`` counter are maintained lazily from the
 recorded start times.
 
-When the runner wires up ack routes (:meth:`BottleneckLink.set_ack_routes`)
-the propagation leg and the per-flow return path are additionally fused
-into one delay-line hop: a packet departing at ``d`` is acknowledged at
-``(d + delay) + return_delay`` — the same instant as with separate hops.
-The only heap events a packet ever occupies are therefore its arrival (a
-batched access delay-line pop) and its acknowledgement (a batched return
-delay-line pop).
+When the runner wires up routes (:meth:`BottleneckLink.set_routes`) the
+propagation leg and the next hop are additionally fused into one delay-line
+push: a packet departing at ``d`` reaches the next link's arrival at
+``d + delay`` (forward route) or is acknowledged at
+``(d + delay) + return_delay`` (last hop) — the same instants as with
+separate hops.  The only heap events a packet ever occupies are therefore
+its arrival pops (one batched delay-line pop per hop) and its
+acknowledgement (a batched return delay-line pop).
 """
 
 from __future__ import annotations
@@ -108,12 +112,16 @@ class BottleneckLink:
         self._flush(self.events.now)
         return len(self._starts)
 
-    def set_ack_routes(self, routes: list[tuple[DelayLine, float]]) -> None:
-        """Fuse propagation + return path: ``routes[flow_id] = (line, return_delay_s)``.
+    def set_routes(self, routes: list[tuple[DelayLine, float] | None]) -> None:
+        """Fuse this link's propagation leg into per-flow onward routes.
 
-        Each entry is the receiving sender's return delay line and its return
-        propagation delay; packets are pushed onto it directly at admission,
-        timed at departure + propagation + return delay.
+        ``routes[flow_id] = (line, extra_delay_s)``: an admitted packet is
+        pushed onto ``line`` timed at ``departure + delay_s + extra_delay_s``.
+        For a flow's last hop the line is the receiving sender's return
+        delay line and ``extra_delay_s`` its return propagation delay (the
+        original ack fusion); for an intermediate hop it is the forward
+        line whose sink is the next link's ``on_arrival`` with no extra
+        delay.  Entries of flows that never traverse this link are None.
         """
         self._ack_routes = routes
 

@@ -1,11 +1,22 @@
 """Scenario runner of the packet-level emulator.
 
-Builds the dumbbell topology of a :class:`~repro.config.ScenarioConfig`,
+Builds the topology of a :class:`~repro.config.ScenarioConfig` — the
+paper's dumbbell, or an explicit multi-bottleneck
+:class:`~repro.config.TopologyConfig` (parking lots, multi-dumbbells) —
 runs the discrete-event simulation, and samples the same
 :class:`~repro.metrics.traces.Trace` structure the fluid model produces, so
 that every metric of the paper's evaluation can be computed from either
 substrate interchangeably (this emulator plays the role of the paper's
 mininet experiments, cf. DESIGN.md).
+
+Multi-hop topologies chain one :class:`~repro.emulation.link.BottleneckLink`
+per queued link via the existing delay-line primitives: each link's
+propagation leg is fused into a forward delay line feeding the next hop's
+arrival, and the last hop of every flow is fused with the flow's return
+path (one heap event per hop per packet, exactly as on the dumbbell).
+Per-link queue/loss/utilization series are recorded into the sampling
+buffers and emitted as one :class:`~repro.metrics.traces.LinkTrace` per
+queued link.
 
 Samples are recorded into preallocated numpy buffers on an absolute time
 grid (sample ``k`` fires at exactly ``(k + 1) * record_interval_s``), so
@@ -19,11 +30,17 @@ Per-flow randomness is derived via :func:`derive_rng`, which hashes the
 (scenario seed, stream label) pair: every (seed, flow) combination gets an
 independent RNG stream, a prerequisite for uncorrelated multi-seed
 replication in the campaign layer (``repro-bbr campaign --seeds K``).
+Multi-hop topologies additionally derive one queue-RNG stream per link
+(``derive_rng(seed, f"link:{name}")``); single-bottleneck scenarios —
+legacy or one-hop topology — keep the historical ``"queue"`` stream so
+seeded runs stay reproducible across the two config forms.
 
 ``scheduler`` selects the event layer: ``"delayline"`` (default) uses the
 typed delay-line/timer primitives of :mod:`repro.emulation.events`;
 ``"closure"`` uses the preserved pre-change per-packet-closure scheduler
 (:mod:`repro.emulation.closure_ref`) for equivalence tests and benchmarks.
+The closure reference predates the topology subsystem and supports
+single-bottleneck scenarios only.
 """
 
 from __future__ import annotations
@@ -39,13 +56,20 @@ from ..config import ScenarioConfig
 from ..metrics.traces import FlowTrace, LinkTrace, Trace
 from . import closure_ref
 from .cca import create_packet_cca
-from .events import EventQueue, Timer
+from .events import DelayLine, EventQueue, Timer
 from .link import BottleneckLink
 from .nodes import Destination, Sender
 from .queues import make_queue
 
 #: Event-layer implementations selectable via ``EmulationRunner(scheduler=...)``.
 SCHEDULERS = ("delayline", "closure")
+
+#: Default emulated buffer, in reference-BDP multiples, standing in for an
+#: "infinite" (``math.inf``) configured buffer.  The packet emulator needs a
+#: concrete queue bound; 100 BDP is far beyond what any built-in CCA can
+#: fill (their windows cap out earlier), so an unbounded buffer never drops.
+#: Override per run via ``EmulationRunner(unbounded_buffer_bdp=...)``.
+UNBOUNDED_BUFFER_BDP = 100.0
 
 
 def derive_rng(seed: int, stream: str) -> random.Random:
@@ -69,14 +93,26 @@ class EmulationRunner:
         config: ScenarioConfig,
         record_interval_s: float = 0.01,
         scheduler: str = "delayline",
+        unbounded_buffer_bdp: float = UNBOUNDED_BUFFER_BDP,
     ) -> None:
         if record_interval_s <= 0:
             raise ValueError("record interval must be positive")
         if scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}")
+        if unbounded_buffer_bdp <= 0:
+            raise ValueError("unbounded_buffer_bdp must be positive")
+        topo = config.effective_topology()
+        multi_hop = topo.num_links > 1
+        if multi_hop and scheduler != "delayline":
+            raise ValueError(
+                "multi-bottleneck topologies require the delayline scheduler "
+                "(the closure reference predates the topology subsystem)"
+            )
         self.config = config
+        self.topology = topo
         self.record_interval_s = record_interval_s
         self.scheduler = scheduler
+        self.unbounded_buffer_bdp = unbounded_buffer_bdp
         self.rng = derive_rng(config.seed, "queue")
         # The closure reference carries its own verbatim pre-change event
         # queue so the benchmark compares full old-vs-new event layers.
@@ -84,67 +120,112 @@ class EmulationRunner:
             EventQueue() if scheduler == "delayline" else closure_ref.ClosureEventQueue()
         )
 
-        capacity_pps = config.bottleneck.capacity_pps
-        buffer_pkts = config.buffer_packets()
-        if math.isinf(buffer_pkts):
-            buffer_pkts = 100.0 * config.bottleneck_bdp_packets()
-        queue = make_queue(
-            config.bottleneck.discipline, max(1, int(round(buffer_pkts))), self.rng
-        )
-
+        # ---------- queued links (one BottleneckLink per topology link) --- #
         link_cls = BottleneckLink if scheduler == "delayline" else closure_ref.ClosureBottleneckLink
         sender_cls = Sender if scheduler == "delayline" else closure_ref.ClosureSender
         self.senders: dict[int, Sender] = {}
         destination = Destination(self.senders)
-        self.bottleneck = link_cls(
-            events=self.events,
-            queue=queue,
-            capacity_pps=capacity_pps,
-            delay_s=config.bottleneck.delay_s,
-            deliver=destination.deliver,
-        )
+        ref_bdp = config.bottleneck_bdp_packets()
+        self.links: list[BottleneckLink] = []
+        link_by_name: dict[str, BottleneckLink] = {}
+        for link_cfg in topo.links:
+            buffer_pkts = config.link_buffer_packets(link_cfg)
+            if math.isinf(buffer_pkts):
+                buffer_pkts = unbounded_buffer_bdp * ref_bdp
+            # Single-bottleneck scenarios keep the historical "queue" RNG
+            # stream (one-hop topologies alias onto the legacy form
+            # bit-for-bit); multi-hop links each get their own stream.
+            queue_rng = (
+                derive_rng(config.seed, f"link:{link_cfg.name}")
+                if multi_hop
+                else self.rng
+            )
+            queue = make_queue(
+                link_cfg.discipline, max(1, int(round(buffer_pkts))), queue_rng
+            )
+            link = link_cls(
+                events=self.events,
+                queue=queue,
+                capacity_pps=link_cfg.capacity_pps,
+                delay_s=link_cfg.delay_s,
+                deliver=destination.deliver,
+            )
+            self.links.append(link)
+            link_by_name[link_cfg.name] = link
+        #: The reference-bottleneck link (back-compat accessor; on the
+        #: dumbbell this is *the* bottleneck).
+        self.bottleneck = link_by_name[topo.reference]
+
+        # ---------- senders ---------------------------------------------- #
+        reference_capacity = self.bottleneck.capacity_pps
         for i, flow_cfg in enumerate(config.flows):
             cca = create_packet_cca(
                 flow_cfg.cca,
                 rng=derive_rng(config.seed, f"flow:{i}"),
-                initial_rate_pps=capacity_pps / config.num_flows,
+                initial_rate_pps=reference_capacity / config.num_flows,
             )
+            first_hop = link_by_name[topo.paths[i][0]]
+            path_delay_s = sum(topo.link(name).delay_s for name in topo.paths[i])
             self.senders[i] = sender_cls(
                 events=self.events,
                 flow_id=i,
                 cca=cca,
-                bottleneck=self.bottleneck,
+                bottleneck=first_hop,
                 access_delay_s=flow_cfg.access_delay_s,
-                return_delay_s=flow_cfg.access_delay_s + config.bottleneck.delay_s,
+                return_delay_s=flow_cfg.access_delay_s + path_delay_s,
                 mss_bytes=units.MSS_BYTES,
                 start_time_s=flow_cfg.start_time_s,
             )
         if scheduler == "delayline":
-            # Fuse the bottleneck propagation leg with each flow's return
-            # path: the link pushes finished packets straight onto the
-            # receiving sender's return delay line (one event per packet
-            # saved; identical acknowledgement times).
-            self.bottleneck.set_ack_routes(
-                [
-                    (self.senders[i].return_line, self.senders[i].return_delay_s)
-                    for i in range(config.num_flows)
-                ]
-            )
+            # Fuse every link's propagation leg into its onward routes: an
+            # intermediate hop pushes straight onto the forward delay line
+            # of the next link, and a flow's last hop pushes onto the
+            # flow's return delay line (one event per packet per hop saved;
+            # identical arrival/acknowledgement times).
+            forward_lines: dict[tuple[str, str], DelayLine] = {}
+            for name, link in link_by_name.items():
+                routes: list[tuple[DelayLine, float] | None] = [None] * config.num_flows
+                used = False
+                for i, path in enumerate(topo.paths):
+                    if name not in path:
+                        continue
+                    used = True
+                    hop = path.index(name)
+                    if hop == len(path) - 1:
+                        routes[i] = (
+                            self.senders[i].return_line,
+                            self.senders[i].return_delay_s,
+                        )
+                    else:
+                        next_name = path[hop + 1]
+                        line = forward_lines.get((name, next_name))
+                        if line is None:
+                            line = DelayLine(
+                                self.events,
+                                link.delay_s,
+                                link_by_name[next_name].on_arrival,
+                            )
+                            forward_lines[(name, next_name)] = line
+                        routes[i] = (line, 0.0)
+                if used:
+                    link.set_routes(routes)
 
         # Sampling state: preallocated buffers on the absolute time grid
         # (generously sized; _build_trace slices to the fired sample count).
         n_flows = config.num_flows
+        n_links = len(self.links)
         capacity = int(config.duration_s / record_interval_s) + 2
         self._max_samples = capacity
         self._flow_buffers = np.empty((5, n_flows, capacity))
-        self._link_buffers = np.empty((4, capacity))
+        self._link_buffers = np.empty((4, n_links, capacity))
         self._time_buf = np.empty(capacity)
         self._prev_sent = [0] * n_flows
         self._prev_delivered = [0] * n_flows
-        self._prev_enqueued = 0
-        self._prev_dropped = 0
-        self._prev_transmitted = 0
-        self._queue_checkpoint = (0.0, 0.0)
+        self._prev_enqueued = [0] * n_links
+        self._prev_dropped = [0] * n_links
+        self._prev_transmitted = [0] * n_links
+        self._queue_checkpoints = [(0.0, 0.0)] * n_links
+        self._rtt_floor = [config.rtt_s(i) for i in range(n_flows)]
         self._sample_idx = 0
         self._sample_timer = (
             Timer(self.events, self._sample) if scheduler == "delayline" else None
@@ -174,7 +255,7 @@ class EmulationRunner:
         rate_buf, delivery_buf, cwnd_buf, inflight_buf, rtt_buf = self._flow_buffers
         prev_sent = self._prev_sent
         prev_delivered = self._prev_delivered
-        bottleneck_delay = self.config.bottleneck.delay_s
+        rtt_floor = self._rtt_floor
         for i, sender in self.senders.items():
             sent = sender.sent_count
             delivered = sender.delivered_count
@@ -185,26 +266,25 @@ class EmulationRunner:
             cwnd_buf[i, k] = sender.cca.window_limit()
             inflight_buf[i, k] = float(len(sender.inflight))
             rtt_buf[i, k] = (
-                sender.last_rtt_s
-                if sender.last_rtt_s > 0
-                else 2.0 * (sender.access_delay_s + bottleneck_delay)
+                sender.last_rtt_s if sender.last_rtt_s > 0 else rtt_floor[i]
             )
-        queue = self.bottleneck.queue
-        arrivals = (queue.enqueued + queue.dropped) - (
-            self._prev_enqueued + self._prev_dropped
-        )
-        drops = queue.dropped - self._prev_dropped
-        transmitted = self.bottleneck.transmitted - self._prev_transmitted
-        self._prev_enqueued = queue.enqueued
-        self._prev_dropped = queue.dropped
-        self._prev_transmitted = self.bottleneck.transmitted
-        mean_queue = self.bottleneck.mean_queue_since(*self._queue_checkpoint)
-        self._queue_checkpoint = self.bottleneck.checkpoint()
         queue_buf, loss_buf, arrival_buf, departure_buf = self._link_buffers
-        queue_buf[k] = mean_queue
-        loss_buf[k] = drops / arrivals if arrivals > 0 else 0.0
-        arrival_buf[k] = arrivals / interval
-        departure_buf[k] = transmitted / interval
+        for j, link in enumerate(self.links):
+            queue = link.queue
+            arrivals = (queue.enqueued + queue.dropped) - (
+                self._prev_enqueued[j] + self._prev_dropped[j]
+            )
+            drops = queue.dropped - self._prev_dropped[j]
+            transmitted = link.transmitted - self._prev_transmitted[j]
+            self._prev_enqueued[j] = queue.enqueued
+            self._prev_dropped[j] = queue.dropped
+            self._prev_transmitted[j] = link.transmitted
+            mean_queue = link.mean_queue_since(*self._queue_checkpoints[j])
+            self._queue_checkpoints[j] = link.checkpoint()
+            queue_buf[j, k] = mean_queue
+            loss_buf[j, k] = drops / arrivals if arrivals > 0 else 0.0
+            arrival_buf[j, k] = arrivals / interval
+            departure_buf[j, k] = transmitted / interval
         self._time_buf[k] = now
         self._sample_idx = k + 1
 
@@ -252,18 +332,19 @@ class EmulationRunner:
                 )
             )
         queue_buf, loss_buf, arrival_buf, departure_buf = self._link_buffers
-        buffer_pkts = float(self.bottleneck.queue.capacity_pkts)
-        links = [
-            LinkTrace(
-                name="bottleneck",
-                capacity_pps=self.bottleneck.capacity_pps,
-                buffer_pkts=buffer_pkts,
-                queue=queue_buf[:n].copy(),
-                loss_prob=loss_buf[:n].copy(),
-                arrival_rate=arrival_buf[:n].copy(),
-                departure_rate=departure_buf[:n].copy(),
+        links = []
+        for j, (link_cfg, link) in enumerate(zip(self.topology.links, self.links)):
+            links.append(
+                LinkTrace(
+                    name=link_cfg.name,
+                    capacity_pps=link.capacity_pps,
+                    buffer_pkts=float(link.queue.capacity_pkts),
+                    queue=queue_buf[j, :n].copy(),
+                    loss_prob=loss_buf[j, :n].copy(),
+                    arrival_rate=arrival_buf[j, :n].copy(),
+                    departure_rate=departure_buf[j, :n].copy(),
+                )
             )
-        ]
         return Trace(time=time, flows=flows, links=links, substrate="emulation")
 
 
@@ -271,8 +352,12 @@ def emulate(
     config: ScenarioConfig,
     record_interval_s: float = 0.01,
     scheduler: str = "delayline",
+    unbounded_buffer_bdp: float = UNBOUNDED_BUFFER_BDP,
 ) -> Trace:
     """Convenience wrapper: build an :class:`EmulationRunner` and run it."""
     return EmulationRunner(
-        config, record_interval_s=record_interval_s, scheduler=scheduler
+        config,
+        record_interval_s=record_interval_s,
+        scheduler=scheduler,
+        unbounded_buffer_bdp=unbounded_buffer_bdp,
     ).run()

@@ -5,8 +5,12 @@ from .scenarios import (
     BUFFER_SWEEP_BDP,
     CCA_MIXES,
     DISCIPLINES,
+    TOPOLOGY_PRESETS,
     aggregate_scenario,
     competition_scenario,
+    multi_dumbbell_scenario,
+    parking_lot_scenario,
+    topology_scenario,
     trace_validation_scenario,
 )
 from .sweep import SweepPoint, run_point, run_sweep, series
@@ -19,8 +23,12 @@ __all__ = [
     "BUFFER_SWEEP_BDP",
     "CCA_MIXES",
     "DISCIPLINES",
+    "TOPOLOGY_PRESETS",
     "aggregate_scenario",
     "competition_scenario",
+    "multi_dumbbell_scenario",
+    "parking_lot_scenario",
+    "topology_scenario",
     "trace_validation_scenario",
     "SweepPoint",
     "run_point",

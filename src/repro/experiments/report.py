@@ -12,6 +12,8 @@ import csv
 from collections.abc import Iterable, Mapping, Sequence
 from pathlib import Path
 
+from .. import units
+
 
 def format_table(
     headers: Sequence[str], rows: Iterable[Sequence[object]], float_format: str = "{:.3f}"
@@ -59,6 +61,29 @@ def write_csv(path: str | Path, rows: Sequence[Mapping[str, object]]) -> Path:
 def format_mean_ci(mean: float, ci: float, float_format: str = "{:.3f}") -> str:
     """Render a replicated value as ``mean ± ci`` (95% CI half-width)."""
     return f"{float_format.format(mean)} ± {float_format.format(ci)}"
+
+
+def link_rows(metrics: Sequence) -> list[dict[str, object]]:
+    """Flatten per-link aggregate metrics into display/CSV-friendly rows.
+
+    ``metrics`` is a sequence of :class:`~repro.metrics.aggregate.LinkMetrics`
+    (or anything with a compatible ``as_dict``); the internal packets/second
+    capacity is rendered as Mbps, matching the paper's figures.
+    """
+    rows: list[dict[str, object]] = []
+    for m in metrics:
+        row = dict(m.as_dict())
+        row["capacity_mbps"] = units.pps_to_mbps(float(row.pop("capacity_pps")))
+        rows.append(row)
+    if not rows:
+        raise ValueError("at least one link is required")
+    return rows
+
+
+def link_table(metrics: Sequence) -> str:
+    """Render per-link aggregate metrics (one row per queued link)."""
+    rows = link_rows(metrics)
+    return format_table(list(rows[0].keys()), [list(r.values()) for r in rows])
 
 
 def series_table(

@@ -10,11 +10,23 @@ Two families of scenarios are used throughout the paper:
   over 30-40 ms (10-20 ms), buffer sizes swept from 1 to 7 BDP, drop-tail and
   RED queueing, and seven CCA mixes (four homogeneous, three heterogeneous
   pairings with five senders each).
+
+Beyond the paper, the **topology family** (:func:`parking_lot_scenario`,
+:func:`multi_dumbbell_scenario`, dispatched by :func:`topology_scenario`)
+runs the same CCA mixes over the multi-bottleneck topologies the paper
+lists as future work, on both substrates.
 """
 
 from __future__ import annotations
 
-from ..config import FluidParams, ScenarioConfig, dumbbell_scenario
+from .. import topology as topology_builders
+from ..config import (
+    FlowConfig,
+    FluidParams,
+    ScenarioConfig,
+    dumbbell_scenario,
+    spread_access_delays,
+)
 
 #: The seven CCA mixes of Figs. 6-10 (keys are the paper's legend labels).
 CCA_MIXES: dict[str, tuple[str, ...]] = {
@@ -131,4 +143,223 @@ def aggregate_scenario(
         duration_s=duration_s,
         fluid=fluid,
         seed=seed,
+    )
+
+
+#: Topology presets accepted by :func:`topology_scenario`, the sweep's
+#: topology axis and the ``repro-bbr topology`` CLI command.
+TOPOLOGY_PRESETS = topology_builders.TOPOLOGY_PRESETS
+
+
+def _sweep_fluid(
+    num_flows: int,
+    rtt_range: tuple[float, float],
+    dt: float,
+    whi_init_bdp: float | None,
+    capacity_mbps: float = 100.0,
+) -> FluidParams:
+    """Fluid numerics matching :func:`aggregate_scenario` (fair-share window)."""
+    mean_rtt = sum(rtt_range) / 2.0
+    fair_share_pkts = capacity_mbps * 1e6 / (1500 * 8) * mean_rtt / num_flows
+    return FluidParams(
+        dt=dt,
+        loss_based_init_window_pkts=max(10.0, fair_share_pkts),
+        whi_init_bdp=whi_init_bdp,
+    )
+
+
+def parking_lot_scenario(
+    mix: str = "BBRv1",
+    hops: int = 3,
+    cross_flows: int = 1,
+    cross_cca: str = "cubic",
+    capacity_mbps: float = 100.0,
+    path_delay_s: float = 0.010,
+    rtt_range_s: tuple[float, float] = (0.030, 0.040),
+    buffer_bdp: float = 1.0,
+    discipline: str = "droptail",
+    duration_s: float = 5.0,
+    dt: float = SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    seed: int = 1,
+) -> ScenarioConfig:
+    """Parking-lot scenario: a ``hops``-link chain with per-hop cross traffic.
+
+    The :data:`CCA_MIXES` entry ``mix`` supplies the *long* flows, which
+    traverse every hop; each hop additionally carries ``cross_flows``
+    single-hop ``cross_cca`` flows.  ``path_delay_s`` is the total one-way
+    propagation delay of the chain (split evenly across hops), so long-flow
+    RTTs cover the same 30-40 ms range as the paper's dumbbell scenarios
+    and results are comparable hop-count to hop-count.  Buffers are
+    ``buffer_bdp`` reference-BDP multiples at every hop.
+    """
+    if mix not in CCA_MIXES:
+        raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
+    if hops < 1:
+        raise ValueError("hops must be positive")
+    long_ccas = CCA_MIXES[mix]
+    topo = topology_builders.parking_lot(
+        hops,
+        cross_flows=cross_flows,
+        long_flows=len(long_ccas),
+        capacity_mbps=capacity_mbps,
+        hop_delay_s=path_delay_s / hops,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+    )
+    # Long flows spread their RTTs over the paper's range given the full
+    # chain delay; each hop's cross flows spread over the same range given
+    # the single-hop delay.
+    flows = [
+        FlowConfig(cca=cca, access_delay_s=delay)
+        for cca, delay in zip(
+            long_ccas, spread_access_delays(len(long_ccas), rtt_range_s, path_delay_s)
+        )
+    ]
+    if cross_flows:
+        cross_delays = spread_access_delays(cross_flows, rtt_range_s, path_delay_s / hops)
+        for _ in range(hops):
+            flows.extend(
+                FlowConfig(cca=cross_cca, access_delay_s=delay) for delay in cross_delays
+            )
+    return ScenarioConfig(
+        bottleneck=None,
+        flows=tuple(flows),
+        duration_s=duration_s,
+        fluid=_sweep_fluid(len(flows), rtt_range_s, dt, whi_init_bdp, capacity_mbps),
+        seed=seed,
+        topology=topo,
+    )
+
+
+def multi_dumbbell_scenario(
+    mix: str = "BBRv1",
+    dumbbells: int = 2,
+    span_flows: int = 1,
+    span_cca: str = "cubic",
+    capacity_mbps: float = 100.0,
+    bottleneck_delay_s: float = 0.010,
+    rtt_range_s: tuple[float, float] = (0.030, 0.040),
+    buffer_bdp: float = 1.0,
+    discipline: str = "droptail",
+    duration_s: float = 5.0,
+    dt: float = SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    seed: int = 1,
+) -> ScenarioConfig:
+    """Multi-dumbbell scenario: disjoint bottlenecks coupled by spanning flows.
+
+    The :data:`CCA_MIXES` entry ``mix`` is dealt round-robin across the
+    ``dumbbells`` bottlenecks (so heterogeneous mixes stay heterogeneous on
+    every dumbbell); ``span_flows`` additional ``span_cca`` flows traverse
+    every bottleneck in series, carrying congestion from one dumbbell into
+    the next.
+    """
+    if mix not in CCA_MIXES:
+        raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
+    if dumbbells < 1:
+        raise ValueError("dumbbells must be positive")
+    ccas = CCA_MIXES[mix]
+    local_ccas = [list(ccas[j::dumbbells]) for j in range(dumbbells)]
+    topo = topology_builders.multi_dumbbell(
+        dumbbells,
+        flows_per_dumbbell=[len(group) for group in local_ccas],
+        span_flows=span_flows,
+        capacity_mbps=capacity_mbps,
+        delay_s=bottleneck_delay_s,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+    )
+    flows: list[FlowConfig] = []
+    for group in local_ccas:
+        if not group:
+            # More dumbbells than mix flows: the surplus dumbbells carry
+            # only spanning traffic (the builder permits 0 local flows).
+            continue
+        delays = spread_access_delays(len(group), rtt_range_s, bottleneck_delay_s)
+        flows.extend(
+            FlowConfig(cca=cca, access_delay_s=delay)
+            for cca, delay in zip(group, delays)
+        )
+    if span_flows:
+        # A spanning flow's propagation floor is the whole chain of
+        # bottlenecks; keep the requested RTT spread but shift the range up
+        # when the floor exceeds it (e.g. 4+ dumbbells at 10 ms each).
+        span_path_delay = bottleneck_delay_s * dumbbells
+        low, high = rtt_range_s
+        floor = 2.0 * span_path_delay
+        if low < floor:
+            low, high = floor, floor + (high - low)
+        span_delays = spread_access_delays(span_flows, (low, high), span_path_delay)
+        flows.extend(
+            FlowConfig(cca=span_cca, access_delay_s=delay) for delay in span_delays
+        )
+    return ScenarioConfig(
+        bottleneck=None,
+        flows=tuple(flows),
+        duration_s=duration_s,
+        fluid=_sweep_fluid(len(flows), rtt_range_s, dt, whi_init_bdp, capacity_mbps),
+        seed=seed,
+        topology=topo,
+    )
+
+
+def topology_scenario(
+    preset: str,
+    mix: str = "BBRv1",
+    hops: int = 3,
+    cross_flows: int = 1,
+    cross_cca: str = "cubic",
+    buffer_bdp: float = 1.0,
+    discipline: str = "droptail",
+    duration_s: float = 5.0,
+    dt: float = SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    seed: int = 1,
+) -> ScenarioConfig:
+    """Build a scenario from a topology preset name (the sweep/CLI axis).
+
+    ``hops`` is the chain length for ``"parking-lot"`` and the dumbbell
+    count for ``"multi-dumbbell"``; ``cross_flows`` is the per-hop cross
+    traffic for the former and the spanning-flow count for the latter.
+    ``"dumbbell"`` ignores both and reproduces :func:`aggregate_scenario`.
+    """
+    if preset == "dumbbell":
+        return aggregate_scenario(
+            mix,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            duration_s=duration_s,
+            dt=dt,
+            whi_init_bdp=whi_init_bdp,
+            seed=seed,
+        )
+    if preset == "parking-lot":
+        return parking_lot_scenario(
+            mix,
+            hops=hops,
+            cross_flows=cross_flows,
+            cross_cca=cross_cca,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            duration_s=duration_s,
+            dt=dt,
+            whi_init_bdp=whi_init_bdp,
+            seed=seed,
+        )
+    if preset == "multi-dumbbell":
+        return multi_dumbbell_scenario(
+            mix,
+            dumbbells=hops,
+            span_flows=cross_flows,
+            span_cca=cross_cca,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            duration_s=duration_s,
+            dt=dt,
+            whi_init_bdp=whi_init_bdp,
+            seed=seed,
+        )
+    raise ValueError(
+        f"unknown topology preset {preset!r}; expected one of {TOPOLOGY_PRESETS}"
     )

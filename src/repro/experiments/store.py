@@ -37,7 +37,10 @@ from ..metrics.aggregate import AggregateMetrics
 
 #: Bump when simulator/emulator semantics change enough that previously
 #: stored results are no longer comparable with freshly computed ones.
-SCHEMA_VERSION = 1
+#: v2: the topology subsystem — ``ScenarioConfig`` grew ``topology`` (and
+#: ``LinkConfig`` a ``name``), so every scenario hash changed; keys are now
+#: topology-aware (a parking-lot point and a dumbbell point never collide).
+SCHEMA_VERSION = 2
 
 #: Environment variable naming the default store file.
 ENV_VAR = "REPRO_STORE"

@@ -155,6 +155,9 @@ def _cache_key(
     seed: int,
     record_interval_s: float,
     scheduler: str,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
 ) -> tuple:
     # The seed and the emulator's sampling parameters are part of the key:
     # omitting them aliased points that differ only in seed (or in
@@ -166,6 +169,13 @@ def _cache_key(
         seed = 1
         record_interval_s = DEFAULT_RECORD_INTERVAL_S
         scheduler = DEFAULT_SCHEDULER
+    # The "dumbbell" preset *is* the legacy grid, and hops/cross_flows are
+    # meaningless without a multi-bottleneck preset: normalise so identical
+    # scenarios share one cache slot.
+    if topology in (None, "dumbbell"):
+        topology = None
+        hops = 0
+        cross_flows = 0
     return (
         mix,
         buffer_bdp,
@@ -178,6 +188,9 @@ def _cache_key(
         seed,
         record_interval_s,
         scheduler,
+        topology,
+        hops,
+        cross_flows,
     )
 
 
@@ -206,7 +219,25 @@ def _point_config(
     dt: float,
     whi_init_bdp: float | None,
     seed: int,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
 ):
+    if topology not in (None, "dumbbell"):
+        if short_rtt:
+            raise ValueError("short_rtt is only defined for the dumbbell grid")
+        return scenarios.topology_scenario(
+            topology,
+            mix=mix,
+            hops=hops,
+            cross_flows=cross_flows,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            duration_s=duration_s,
+            dt=dt,
+            whi_init_bdp=whi_init_bdp,
+            seed=seed,
+        )
     return scenarios.aggregate_scenario(
         mix,
         buffer_bdp=buffer_bdp,
@@ -231,6 +262,9 @@ def _store_meta(
     seed: int,
     record_interval_s: float,
     scheduler: str,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
 ) -> dict:
     meta = {
         "mix": mix,
@@ -243,6 +277,10 @@ def _store_meta(
         "whi_init_bdp": whi_init_bdp,
         "seed": seed,
     }
+    if topology not in (None, "dumbbell"):
+        meta["topology"] = topology
+        meta["hops"] = hops
+        meta["cross_flows"] = cross_flows
     if substrate == "emulation":
         meta["record_interval_s"] = record_interval_s
         meta["scheduler"] = scheduler
@@ -264,6 +302,9 @@ def run_point(
     scheduler: str = DEFAULT_SCHEDULER,
     use_cache: bool = True,
     store: SweepStore | str | bool | None = None,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
 ) -> SweepPoint | SummaryPoint:
     """Run (or fetch from cache/store) a single sweep point.
 
@@ -273,6 +314,11 @@ def run_point(
     (fluid replicas alias onto one computation — the fluid model never
     consumes the seed).  ``store=False`` disables persistence outright,
     ignoring ``REPRO_STORE``.
+
+    ``topology`` selects a multi-bottleneck preset ("parking-lot" or
+    "multi-dumbbell"; ``None``/"dumbbell" is the legacy grid) with ``hops``
+    chain links / dumbbells and ``cross_flows`` per-hop cross / spanning
+    flows (see :func:`~repro.experiments.scenarios.topology_scenario`).
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
@@ -294,6 +340,9 @@ def run_point(
                 scheduler=scheduler,
                 use_cache=use_cache,
                 store=store,
+                topology=topology,
+                hops=hops,
+                cross_flows=cross_flows,
             )
             for s in seed_list
         ]
@@ -307,12 +356,13 @@ def run_point(
         )
     key = _cache_key(
         mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
-        whi_init_bdp, seed, record_interval_s, scheduler,
+        whi_init_bdp, seed, record_interval_s, scheduler, topology, hops, cross_flows,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
     config = _point_config(
-        mix, buffer_bdp, discipline, short_rtt, duration_s, dt, whi_init_bdp, seed
+        mix, buffer_bdp, discipline, short_rtt, duration_s, dt, whi_init_bdp, seed,
+        topology, hops, cross_flows,
     )
     metrics = None
     if store is not None:
@@ -333,6 +383,7 @@ def run_point(
                 meta=_store_meta(
                     mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
                     dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                    topology, hops, cross_flows,
                 ),
             )
     point = SweepPoint(
@@ -362,8 +413,18 @@ def run_sweep(
     record_interval_s: float = DEFAULT_RECORD_INTERVAL_S,
     scheduler: str = DEFAULT_SCHEDULER,
     store: SweepStore | str | bool | None = None,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
 ) -> list[SweepPoint] | list[SummaryPoint]:
     """Run the full (or a reduced) aggregate-validation sweep.
+
+    ``topology`` swaps the scenario family of every grid point from the
+    paper's dumbbell to a multi-bottleneck preset ("parking-lot" or
+    "multi-dumbbell") built with ``hops`` and ``cross_flows``; the (mix,
+    buffer, discipline, seed) grid, the caches and the persistent store all
+    work identically (the store key hashes the full scenario including its
+    topology).
 
     ``seeds`` (an int K or an explicit seed sequence) replicates every grid
     point across scenario seeds and returns :class:`SummaryPoint` rows with
@@ -402,6 +463,7 @@ def run_sweep(
         return _cache_key(
             mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
             whi_init_bdp, seed, record_interval_s, scheduler,
+            topology, hops, cross_flows,
         )
 
     results: dict[tuple, SweepPoint] = {}
@@ -422,7 +484,7 @@ def run_sweep(
             discipline, mix, buffer_bdp, seed = task
             config = _point_config(
                 mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                whi_init_bdp, seed,
+                whi_init_bdp, seed, topology, hops, cross_flows,
             )
             metrics = store.get(scenario_key(config, substrate, record_interval_s, scheduler))
             if metrics is not None:
@@ -446,7 +508,7 @@ def run_sweep(
             discipline, mix, buffer_bdp, seed = task
             config = _point_config(
                 mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                whi_init_bdp, seed,
+                whi_init_bdp, seed, topology, hops, cross_flows,
             )
             store.put(
                 scenario_key(config, substrate, record_interval_s, scheduler),
@@ -454,6 +516,7 @@ def run_sweep(
                 meta=_store_meta(
                     mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
                     dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                    topology, hops, cross_flows,
                 ),
             )
 
@@ -480,6 +543,9 @@ def run_sweep(
                         # The parent persists centrally; workers must not
                         # open (or pick up via REPRO_STORE) the store file.
                         store=False,
+                        topology=topology,
+                        hops=hops,
+                        cross_flows=cross_flows,
                     )
                 ] = task
             # as_completed + per-point persistence: the full future set is
@@ -505,7 +571,7 @@ def run_sweep(
             configs = [
                 _point_config(
                     mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                    whi_init_bdp, seed,
+                    whi_init_bdp, seed, topology, hops, cross_flows,
                 )
                 for discipline, mix, buffer_bdp, seed in chunk
             ]
@@ -531,7 +597,7 @@ def run_sweep(
             try:
                 config = _point_config(
                     mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                    whi_init_bdp, seed,
+                    whi_init_bdp, seed, topology, hops, cross_flows,
                 )
                 if substrate == "fluid":
                     trace = simulate(config)

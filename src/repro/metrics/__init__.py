@@ -2,10 +2,12 @@
 
 from .aggregate import (
     AggregateMetrics,
+    LinkMetrics,
     MetricsSummary,
     aggregate_metrics,
     buffer_occupancy_percent,
     jitter_ms,
+    link_metrics,
     loss_percent,
     summarize_metrics,
     utilization_percent,
@@ -15,8 +17,10 @@ from .traces import FlowTrace, LinkTrace, Trace, resample
 
 __all__ = [
     "AggregateMetrics",
+    "LinkMetrics",
     "MetricsSummary",
     "aggregate_metrics",
+    "link_metrics",
     "summarize_metrics",
     "buffer_occupancy_percent",
     "jitter_ms",

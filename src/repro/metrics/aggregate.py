@@ -100,6 +100,53 @@ def aggregate_metrics(trace: Trace) -> AggregateMetrics:
     )
 
 
+@dataclass(frozen=True)
+class LinkMetrics:
+    """Aggregate state of one queued link of a (multi-bottleneck) trace.
+
+    The scalar :class:`AggregateMetrics` keep the paper's single-bottleneck
+    framing (they read ``trace.bottleneck()``); multi-bottleneck topologies
+    (parking lots, multi-dumbbells) additionally report one of these per
+    queued link, so per-hop questions — where does the loss happen, which
+    hop bloats — have first-class answers.
+    """
+
+    name: str
+    capacity_pps: float
+    utilization_percent: float
+    loss_percent: float
+    mean_queue_pkts: float
+    buffer_occupancy_percent: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        return {
+            "link": self.name,
+            "capacity_pps": self.capacity_pps,
+            "utilization_percent": self.utilization_percent,
+            "loss_percent": self.loss_percent,
+            "mean_queue_pkts": self.mean_queue_pkts,
+            "buffer_occupancy_percent": self.buffer_occupancy_percent,
+        }
+
+
+def link_metrics(trace: Trace) -> list[LinkMetrics]:
+    """Per-link aggregate metrics, one entry per queued link of the trace."""
+    out = []
+    for link in trace.links:
+        mean_queue = float(np.mean(link.queue)) if len(link.queue) else 0.0
+        out.append(
+            LinkMetrics(
+                name=link.name,
+                capacity_pps=link.capacity_pps,
+                utilization_percent=min(100.0, 100.0 * link.utilization()),
+                loss_percent=100.0 * link.loss_fraction(),
+                mean_queue_pkts=mean_queue,
+                buffer_occupancy_percent=100.0 * link.mean_occupancy(),
+            )
+        )
+    return out
+
+
 #: Two-sided 95% Student-t critical values, indexed by degrees of freedom
 #: (1-based; df > 30 falls back to the normal value 1.96).  Enough for the
 #: seed-replication counts the campaigns use, without a scipy dependency.

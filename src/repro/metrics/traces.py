@@ -154,15 +154,15 @@ class Trace:
         ]
         links = [
             LinkTrace(
-                name=l.name,
-                capacity_pps=l.capacity_pps,
-                buffer_pkts=l.buffer_pkts,
-                queue=l.queue[mask],
-                loss_prob=l.loss_prob[mask],
-                arrival_rate=l.arrival_rate[mask],
-                departure_rate=l.departure_rate[mask],
+                name=link.name,
+                capacity_pps=link.capacity_pps,
+                buffer_pkts=link.buffer_pkts,
+                queue=link.queue[mask],
+                loss_prob=link.loss_prob[mask],
+                arrival_rate=link.arrival_rate[mask],
+                departure_rate=link.departure_rate[mask],
             )
-            for l in self.links
+            for link in self.links
         ]
         return Trace(time=self.time[mask], flows=flows, links=links, substrate=self.substrate)
 

@@ -58,6 +58,25 @@ class TestParser:
         assert args.buffers == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
         assert args.store is None and args.csv is None and args.per_seed_csv is None
 
+    def test_topology_defaults(self):
+        args = cli.build_parser().parse_args(["topology"])
+        assert args.preset == "parking-lot"
+        assert args.hops == 3
+        assert args.cross_flows == 1
+        assert args.substrate == "both"
+
+    def test_topology_preset_choices(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["topology", "--preset", "ring"])
+
+    def test_sweep_topology_axis_parsed(self):
+        args = cli.build_parser().parse_args(
+            ["sweep", "--topology", "parking-lot", "--hops", "4", "--cross-flows", "2"]
+        )
+        assert args.topology == "parking-lot"
+        assert args.hops == 4 and args.cross_flows == 2
+        assert cli.build_parser().parse_args(["campaign"]).topology is None
+
 
 class TestWorkersPlumbing:
     """--workers must actually reach run_sweep (it used to be dead code)."""
@@ -83,6 +102,15 @@ class TestWorkersPlumbing:
         cli.main(["figure", "fig06_fairness", "--mixes", "BBRv1", "--workers", "5"])
         capsys.readouterr()
         assert calls["workers"] == 5
+
+    def test_sweep_passes_topology_axis(self, monkeypatch, capsys):
+        calls = self._capture_run_sweep(monkeypatch)
+        cli.main(
+            ["sweep", "--mixes", "BBRv1", "--topology", "multi-dumbbell", "--hops", "2"]
+        )
+        capsys.readouterr()
+        assert calls["topology"] == "multi-dumbbell"
+        assert calls["hops"] == 2 and calls["cross_flows"] == 1
 
 
 class TestEmptyResults:
@@ -151,6 +179,53 @@ class TestExecution:
         assert csv_path.exists()
         out = capsys.readouterr().out
         assert "jain_fairness" in out
+
+    def test_topology_command_both_substrates(self, capsys):
+        code = cli.main(
+            [
+                "topology",
+                "--preset",
+                "parking-lot",
+                "--hops",
+                "3",
+                "--duration",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Per-link and per-flow tables for both substrates.
+        for substrate in ("fluid", "emulation"):
+            assert f"[{substrate}] — per-link" in out
+            assert f"[{substrate}] — per-flow" in out
+        assert "hop-1" in out and "hop-3" in out
+        assert "utilization_percent" in out and "throughput_mbps" in out
+        assert "hop-1>hop-2>hop-3" in out
+
+    def test_topology_command_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "topo.csv"
+        code = cli.main(
+            [
+                "topology",
+                "--preset",
+                "multi-dumbbell",
+                "--hops",
+                "2",
+                "--substrate",
+                "fluid",
+                "--duration",
+                "0.5",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        lines = csv_path.read_text().strip().splitlines()
+        header = lines[0].split(",")
+        assert "kind" in header and "link" in header and "throughput_mbps" in header
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"link", "flow"}
 
     def test_figure_command(self, capsys):
         code = cli.main(

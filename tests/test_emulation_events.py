@@ -12,7 +12,7 @@ import pytest
 
 from repro.config import dumbbell_scenario
 from repro.emulation.cca.base import AckSample, LossEvent, PacketCCA
-from repro.emulation.events import DelayLine, EventQueue, Timer
+from repro.emulation.events import DelayLine, EventQueue
 from repro.emulation.link import BottleneckLink
 from repro.emulation.nodes import Sender
 from repro.emulation.packet import Packet

@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import FluidParams, dumbbell_scenario
 from repro.core import bbr1 as bbr1_mod
-from repro.core import bbr2 as bbr2_mod
 from repro.core.bbr1 import Bbr1Fluid, Bbr1Params
 from repro.core.bbr2 import Bbr2Fluid, Bbr2Params
 from repro.core.cubic import CubicFluid, cubic_window
