@@ -5,13 +5,17 @@ substrates and records the throughput in
 ``benchmarks/BENCH_perf_topology.json`` so future PRs can track the cost of
 the topology generalisation:
 
-* fluid: integrator steps/second (vectorized pipeline, 3 queued links and
-  composed path loss active), plus the scalar reference for the ratio,
+* fluid: integrator steps/second of the *attenuated* arrival pipeline
+  (upstream loss/capacity attenuation + effective-bottleneck Eq. 17, the
+  default), the unattenuated PR-4 vectorized pipeline for the attenuation
+  cost, and the scalar reference for the vectorization ratio,
 * emulation: sent packets/second across the 3-link chain (every packet now
   crosses three queue admissions and three fused delay-line hops).
 
-The vectorized/scalar fluid equivalence is re-asserted on the benchmarked
-runs, mirroring ``benchmarks/test_perf_fluid_step.py``.
+The attenuation guard-rail asserts the corrected pipeline costs at most
+25 % versus the unattenuated vectorized baseline.  The vectorized/scalar
+fluid equivalence is re-asserted on the benchmarked (attenuated) runs,
+mirroring ``benchmarks/test_perf_fluid_step.py``.
 """
 
 from __future__ import annotations
@@ -46,8 +50,10 @@ def _config(duration_s: float):
     )
 
 
-def _measure_fluid(config, vectorized: bool):
-    simulator = FluidSimulator(config, vectorized=vectorized)
+def _measure_fluid(config, vectorized: bool, attenuate: bool = True):
+    simulator = FluidSimulator(
+        config, vectorized=vectorized, attenuate_arrivals=attenuate
+    )
     start = time.perf_counter()
     trace = simulator.run()
     elapsed = time.perf_counter() - start
@@ -55,11 +61,28 @@ def _measure_fluid(config, vectorized: bool):
     return steps / elapsed, trace
 
 
+def _interleaved_best(n, config):
+    """Best-of-``n`` attenuated and unattenuated vectorized runs, interleaved.
+
+    The attenuation-cost guard compares a ratio; interleaving the two
+    measurements makes a transient machine slowdown hit both sides instead
+    of skewing one, and best-of-``n`` damps scheduler noise.
+    """
+    best_att = best_base = None
+    for _ in range(n):
+        att_sps, att_trace = _measure_fluid(config, vectorized=True)
+        base_sps, _ = _measure_fluid(config, vectorized=True, attenuate=False)
+        if best_att is None or att_sps > best_att[0]:
+            best_att = (att_sps, att_trace)
+        best_base = base_sps if best_base is None else max(best_base, base_sps)
+    return best_att[0], best_att[1], best_base
+
+
 def test_perf_topology(benchmark):
     fluid_config = _config(FLUID_SECONDS)
     scalar_sps, scalar_trace = _measure_fluid(fluid_config, vectorized=False)
-    vector_sps, vector_trace = run_once(
-        benchmark, lambda: _measure_fluid(fluid_config, vectorized=True)
+    vector_sps, vector_trace, baseline_sps = run_once(
+        benchmark, lambda: _interleaved_best(3, fluid_config)
     )
     for fa, fb in zip(scalar_trace.flows, vector_trace.flows):
         np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
@@ -88,6 +111,14 @@ def test_perf_topology(benchmark):
             "vectorized_steps_per_s": round(vector_sps),
             "speedup": round(vector_sps / scalar_sps, 2),
         },
+        "attenuation": {
+            # The corrected (attenuated) pipeline vs the PR-4 unattenuated
+            # vectorized baseline, interleaved best-of-3 on the same
+            # scenario (see _interleaved_best).
+            "attenuated_steps_per_s": round(vector_sps),
+            "unattenuated_steps_per_s": round(baseline_sps),
+            "cost_percent": round(100.0 * (1.0 - vector_sps / baseline_sps), 1),
+        },
         "emulation": {
             "duration_s": EMULATION_SECONDS,
             "sent_packets": sent,
@@ -102,14 +133,23 @@ def test_perf_topology(benchmark):
         f"  fluid      scalar {scalar_sps:8.0f}  vectorized {vector_sps:8.0f} "
         f"steps/s ({vector_sps / scalar_sps:.1f}x)"
     )
+    print(
+        f"  attenuation cost {100.0 * (1.0 - vector_sps / baseline_sps):5.1f}% "
+        f"(unattenuated baseline {baseline_sps:8.0f} steps/s)"
+    )
     print(f"  emulation  {sent_pkts_per_s:8.0f} sent pkts/s ({sent} pkts)")
 
     # Guard rails, not targets: the vectorized pipeline must still beat the
-    # scalar loop with 3 queued links, and the chained emulator must sustain
-    # a sane packet rate (the dumbbell does ~150k pkts/s; three hops triple
-    # the per-packet queue work).
+    # scalar loop with 3 queued links, the upstream attenuation must cost at
+    # most 25% vs the unattenuated vectorized baseline, and the chained
+    # emulator must sustain a sane packet rate (the dumbbell does ~150k
+    # pkts/s; three hops triple the per-packet queue work).
     assert vector_sps >= 2.0 * scalar_sps, (
         f"vectorized 3-hop integrator only {vector_sps / scalar_sps:.2f}x scalar"
+    )
+    assert vector_sps >= 0.75 * baseline_sps, (
+        f"attenuated pipeline costs {100.0 * (1.0 - vector_sps / baseline_sps):.1f}% "
+        f"vs the unattenuated baseline (budget: 25%)"
     )
     assert sent_pkts_per_s > 10_000, (
         f"3-hop emulation dropped to {sent_pkts_per_s:.0f} sent pkts/s"

@@ -8,7 +8,9 @@ Examples::
     repro-bbr figure fig06_fairness --seeds 3 --csv fig06.csv
     repro-bbr campaign --store results.jsonl --seeds 5 --workers 4
     repro-bbr topology --preset parking-lot --hops 3
+    repro-bbr topology --preset parking-lot --hops 3 --hop-capacities 100,50,25
     repro-bbr sweep --topology parking-lot --hops 3 --mixes BBRv1
+    repro-bbr sweep --topology parking-lot --hops 3 --hop-delays 0.002,0.02,0.002
     repro-bbr theorems
 
 ``--seeds K`` replicates every sweep point under K scenario seeds and
@@ -20,7 +22,9 @@ interrupted sweep or campaign resumes without recomputing finished points.
 multi-dumbbell, or a one-hop dumbbell) on one or both substrates and
 reports per-link utilization/loss/queue plus per-flow throughput;
 ``--topology PRESET`` on ``sweep``/``campaign`` swaps the whole grid onto
-that topology family.
+that topology family.  Chains may be heterogeneous:
+``--hop-capacities``/``--hop-delays``/``--hop-disciplines`` take one
+comma-separated value per hop (validated against ``--hops``).
 """
 
 from __future__ import annotations
@@ -70,6 +74,61 @@ def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _comma_list(text: str) -> tuple[str, ...]:
+    """Split a comma-separated CLI list, tolerating stray whitespace."""
+    return tuple(item.strip() for item in text.split(",") if item.strip())
+
+
+def _add_hop_list_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--hop-capacities",
+        type=_comma_list,
+        default=None,
+        metavar="MBPS,...",
+        help="per-hop capacities in Mbps (comma list, one value per --hops)",
+    )
+    parser.add_argument(
+        "--hop-delays",
+        type=_comma_list,
+        default=None,
+        metavar="SECONDS,...",
+        help="per-hop one-way propagation delays in seconds (comma list)",
+    )
+    parser.add_argument(
+        "--hop-disciplines",
+        type=_comma_list,
+        default=None,
+        metavar="DISC,...",
+        help="per-hop queue disciplines (comma list of droptail/red)",
+    )
+
+
+def _parse_hop_axis(args: argparse.Namespace, preset: str | None):
+    """Parse/validate the heterogeneous hop flags into normalised tuples.
+
+    Raises :class:`ValueError` with a flag-level message on non-numeric
+    entries; length/positivity/discipline validation is delegated to
+    :func:`repro.experiments.scenarios.validate_hop_axis`.
+    """
+    def floats(values: tuple[str, ...] | None, flag: str):
+        if values is None:
+            return None
+        try:
+            return tuple(float(v) for v in values)
+        except ValueError:
+            raise ValueError(
+                f"{flag} expects a comma list of numbers, got {','.join(values)!r}"
+            ) from None
+
+    return scenarios.validate_hop_axis(
+        args.hops,
+        floats(args.hop_capacities, "--hop-capacities"),
+        floats(args.hop_delays, "--hop-delays"),
+        args.hop_disciplines,
+        preset=preset or "dumbbell",
+    )
+
+
 def _add_topology_axis_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--topology",
@@ -89,6 +148,7 @@ def _add_topology_axis_flags(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="cross flows per hop (parking-lot) or spanning flows (multi-dumbbell)",
     )
+    _add_hop_list_flags(parser)
 
 
 def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -164,6 +224,7 @@ def _add_topology_parser(subparsers: argparse._SubParsersAction) -> None:
         default=1,
         help="cross flows per hop (parking-lot) or spanning flows (multi-dumbbell)",
     )
+    _add_hop_list_flags(parser)
     parser.add_argument("--mix", choices=sorted(scenarios.CCA_MIXES), default="BBRv1")
     parser.add_argument(
         "--cross-cca",
@@ -247,20 +308,34 @@ def _summary_display_rows(points: Sequence[sweep.SummaryPoint]) -> list[dict[str
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
-    points = sweep.run_sweep(
-        mixes=args.mixes,
-        buffers_bdp=args.buffers,
-        disciplines=args.disciplines,
-        substrate=args.substrate,
-        short_rtt=args.short_rtt,
-        duration_s=args.duration,
-        workers=args.workers,
-        seeds=args.seeds,
-        store=args.store,
-        topology=args.topology,
-        hops=args.hops,
-        cross_flows=args.cross_flows,
-    )
+    try:
+        hop_capacities, hop_delays, hop_disciplines = _parse_hop_axis(
+            args, args.topology
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        points = sweep.run_sweep(
+            mixes=args.mixes,
+            buffers_bdp=args.buffers,
+            disciplines=args.disciplines,
+            substrate=args.substrate,
+            short_rtt=args.short_rtt,
+            duration_s=args.duration,
+            workers=args.workers,
+            seeds=args.seeds,
+            store=args.store,
+            topology=args.topology,
+            hops=args.hops,
+            cross_flows=args.cross_flows,
+            hop_capacities=hop_capacities,
+            hop_delays=hop_delays,
+            hop_disciplines=hop_disciplines,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = [point.row() for point in points]
     if not rows:
         print(
@@ -330,6 +405,13 @@ def _run_figure(args: argparse.Namespace) -> int:
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
+    try:
+        hop_capacities, hop_delays, hop_disciplines = _parse_hop_axis(
+            args, args.topology
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     store = resolve_store(args.store)
     if store is None:
         print(
@@ -337,20 +419,27 @@ def _run_campaign(args: argparse.Namespace) -> int:
             "not be persisted or resumable",
             file=sys.stderr,
         )
-    points = sweep.run_sweep(
-        mixes=args.mixes,
-        buffers_bdp=args.buffers,
-        disciplines=args.disciplines,
-        substrate=args.substrate,
-        short_rtt=args.short_rtt,
-        duration_s=args.duration,
-        workers=args.workers,
-        seeds=args.seeds,
-        store=store,
-        topology=args.topology,
-        hops=args.hops,
-        cross_flows=args.cross_flows,
-    )
+    try:
+        points = sweep.run_sweep(
+            mixes=args.mixes,
+            buffers_bdp=args.buffers,
+            disciplines=args.disciplines,
+            substrate=args.substrate,
+            short_rtt=args.short_rtt,
+            duration_s=args.duration,
+            workers=args.workers,
+            seeds=args.seeds,
+            store=store,
+            topology=args.topology,
+            hops=args.hops,
+            cross_flows=args.cross_flows,
+            hop_capacities=hop_capacities,
+            hop_delays=hop_delays,
+            hop_disciplines=hop_disciplines,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = [point.row() for point in points]
     if not rows:
         print(
@@ -364,13 +453,19 @@ def _run_campaign(args: argparse.Namespace) -> int:
         path = report.write_csv(args.csv, rows)
         print(f"wrote {path}")
     if args.per_seed_csv:
+        # With hop_disciplines set, every point is labelled (and stored)
+        # under the per-hop composite, not the swept discipline value.
+        if hop_disciplines is not None:
+            export_disciplines = [sweep.hop_discipline_label(hop_disciplines)]
+        else:
+            export_disciplines = args.disciplines
         if store is not None:
             # The store indexes every per-seed record this campaign just
             # ran (or resumed); restrict it to this campaign's grid since
             # the file may hold other campaigns too.
             wanted = {
                 (discipline, mix, float(buffer_bdp))
-                for discipline in args.disciplines
+                for discipline in export_disciplines
                 for mix in args.mixes
                 for buffer_bdp in args.buffers
             }
@@ -388,6 +483,18 @@ def _run_campaign(args: argparse.Namespace) -> int:
             if topology is not None:
                 filters["hops"] = args.hops
                 filters["cross_flows"] = args.cross_flows
+                # Symmetric on purpose: a homogeneous campaign (filter
+                # None) must not export heterogeneous rows that share its
+                # (mix, buffer, discipline) coordinates, and vice versa.
+                filters["hop_capacities"] = (
+                    list(hop_capacities) if hop_capacities is not None else None
+                )
+                filters["hop_delays"] = (
+                    list(hop_delays) if hop_delays is not None else None
+                )
+                filters["hop_disciplines"] = (
+                    list(hop_disciplines) if hop_disciplines is not None else None
+                )
             per_seed = [
                 row
                 for row in store.rows(**filters)
@@ -408,8 +515,11 @@ def _run_campaign(args: argparse.Namespace) -> int:
                     topology=args.topology,
                     hops=args.hops,
                     cross_flows=args.cross_flows,
+                    hop_capacities=hop_capacities,
+                    hop_delays=hop_delays,
+                    hop_disciplines=hop_disciplines,
                 ).row()
-                for discipline in args.disciplines
+                for discipline in export_disciplines
                 for mix in args.mixes
                 for buffer_bdp in args.buffers
                 for seed in range(1, args.seeds + 1)
@@ -441,17 +551,27 @@ def _topology_flow_rows(config, trace, substrate: str) -> list[dict[str, object]
 
 
 def _run_topology(args: argparse.Namespace) -> int:
-    config = scenarios.topology_scenario(
-        args.preset,
-        mix=args.mix,
-        hops=args.hops,
-        cross_flows=args.cross_flows,
-        cross_cca=args.cross_cca,
-        buffer_bdp=args.buffer_bdp,
-        discipline=args.discipline,
-        duration_s=args.duration,
-        seed=args.seed,
-    )
+    try:
+        hop_capacities, hop_delays, hop_disciplines = _parse_hop_axis(
+            args, args.preset
+        )
+        config = scenarios.topology_scenario(
+            args.preset,
+            mix=args.mix,
+            hops=args.hops,
+            cross_flows=args.cross_flows,
+            cross_cca=args.cross_cca,
+            buffer_bdp=args.buffer_bdp,
+            discipline=args.discipline,
+            duration_s=args.duration,
+            seed=args.seed,
+            hop_capacities=hop_capacities,
+            hop_delays=hop_delays,
+            hop_disciplines=hop_disciplines,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     substrates = ["fluid", "emulation"] if args.substrate == "both" else [args.substrate]
     csv_rows: list[dict[str, object]] = []
     for substrate in substrates:

@@ -37,10 +37,28 @@ Both pipelines execute arbitrary multi-bottleneck topologies
 K queued links integrate their queue/loss state together, per-flow path
 latency sums the per-link queueing delays (Eq. 3), and a flow crossing
 several queued links observes the composed path loss ``1 - prod(1 - p_l)``
-with per-link backward delays (Eq. 7 generalised).  The delivery rate
-(Eq. 17) is attenuated at the flow's smallest-capacity queued link.  Flows
-crossing a single queued link take exactly the legacy single-bottleneck
-code path, so a one-hop topology is bit-identical with the dumbbell form.
+with per-link backward delays (Eq. 7 generalised).
+
+Eq. 1 was derived for a single bottleneck, where a link's arrival rate is
+the sum of the flows' delayed *sending* rates.  On a multi-hop path that
+overestimates downstream load: traffic reaching link ``l`` has already
+been thinned by every upstream drop.  Both pipelines therefore attenuate
+per-link arrivals along the path — the contribution of flow ``i`` to link
+``l`` is its delayed sending rate run through ``r <- min(r * (1 - p_m),
+C_m)`` for every upstream queued link ``m`` in path order, i.e. multiplied
+by the upstream survival product and capped by the smallest upstream
+delivered capacity, with each ``p_m`` read at the lag the traffic actually
+crossed ``m``.  The delivery rate (Eq. 17) is then taken at the flow's
+*effective* bottleneck: the path link with the smallest survival-scaled
+capacity ``C_l / prod_upstream(1 - p_m)`` (re-evaluated every step from
+the delayed loss state), using the flow's attenuated contribution as the
+numerator.  ``attenuate_arrivals=False`` restores the unattenuated Eq.-1
+arrivals (the pre-attenuation pipeline, kept for regression and
+benchmarking).  Flows crossing a single queued link take exactly the
+legacy single-bottleneck code path, so a one-hop topology is bit-identical
+with the dumbbell form, and loss-free multi-hop runs whose rates stay
+below every upstream capacity are bit-identical with the unattenuated
+model.
 
 The per-flow CCA dynamics live in :mod:`repro.core.reno`, ``cubic``,
 ``bbr1`` and ``bbr2``; the simulator is agnostic to them and supports
@@ -87,6 +105,7 @@ class FluidSimulator:
         vectorized: bool = True,
         network: Network | None = None,
         initial_states: list | None = None,
+        attenuate_arrivals: bool = True,
     ) -> None:
         if record_interval_s < config.fluid.dt:
             raise ValueError("record interval must be at least one integration step")
@@ -95,6 +114,11 @@ class FluidSimulator:
         self.dt = config.fluid.dt
         self.record_interval_s = record_interval_s
         self.vectorized = vectorized
+        # Upstream loss/capacity attenuation of per-link arrivals (and the
+        # matching effective-bottleneck Eq. 17).  Only multi-hop paths are
+        # affected; ``False`` restores the unattenuated Eq.-1 arrivals of
+        # the original pipeline (kept for regression and benchmarking).
+        self.attenuate_arrivals = attenuate_arrivals
         # ``initial_states`` lets :func:`simulate_many` hand over states that
         # were built with each scenario's own flow indexing (e.g. the BBR
         # gain-cycle phase is ``flow_index % 6`` *within* its scenario).
@@ -206,11 +230,119 @@ class FluidSimulator:
                 multi_cols.append(2 * num_queued + pos_of_link[idx])
                 multi_delays.append(net.backward_delay(i, idx))
             multi_bounds.append(len(multi_cols))
+        attenuating = self.attenuate_arrivals
         if multi_flows:
             multi_flows_arr = np.array(multi_flows, dtype=np.intp)
             multi_cols_arr = np.array(multi_cols, dtype=np.intp)
             multi_lags = link_history.lag_steps(np.array(multi_delays, dtype=float))
             multi_starts = np.array(multi_bounds[:-1], dtype=np.intp)
+        if multi_flows and attenuating:
+            # Dynamic effective bottleneck (Eq. 17 under attenuation): per
+            # step, each multi-hop flow's reference link is the path link
+            # with the smallest survival-scaled capacity C_l / S_l, where
+            # S_l is the flow's survival product over links upstream of l
+            # (ties pick the most upstream link).  The per-pair survive
+            # factors are the same backward-delayed gathers the composed
+            # path loss already uses; arrival/queue of the chosen link are
+            # gathered at its own backward delay.  The per-pair arrays are
+            # processed as a rectangular (num_multi, max_len) matrix —
+            # segments shorter than max_len are padded with survive = 1 /
+            # capacity = inf so they never win the argmin.
+            num_multi = len(multi_flows)
+            multi_links = [
+                idx
+                for i in multi_flows
+                for idx in net.paths[i].link_indices
+                if idx in pos_of_link
+            ]
+            multi_caps = np.array(
+                [net.links[idx].capacity_pps for idx in multi_links], dtype=float
+            )
+            multi_arr_cols = multi_cols_arr - 2 * num_queued
+            multi_q_cols = multi_cols_arr - num_queued
+            seg_lens = np.diff(multi_bounds)
+            max_len = int(seg_lens.max())
+            ragged = bool(np.any(seg_lens != max_len))
+            pad_idx = np.zeros((num_multi, max_len), dtype=np.intp)
+            pad_invalid = np.ones((num_multi, max_len), dtype=bool)
+            for row, (start, length) in enumerate(zip(multi_starts, seg_lens)):
+                pad_idx[row, :length] = np.arange(start, start + length)
+                pad_invalid[row, :length] = False
+            caps_pad = multi_caps[pad_idx]
+            caps_pad[pad_invalid] = np.inf
+            pad_valid = ~pad_invalid
+            multi_rows = np.arange(num_multi)
+            # Reusable per-step buffers (survive matrix, exclusive prefix
+            # survival, attenuated contribution, effective capacity).
+            surv_pad = np.ones((num_multi, max_len))
+            surv_prefix = np.ones((num_multi, max_len))
+            own_contrib = np.empty((num_multi, max_len))
+            eff_capacity = np.empty((num_multi, max_len))
+
+        # Upstream attenuation tables for Eq. 1: the contribution of flow i
+        # to link l is its delayed sending rate run through
+        # ``r <- min(r * (1 - p_m), C_m)`` over the queued links m upstream
+        # of l in path order — the survival product capped by the smallest
+        # upstream delivered capacity.  Each p_m is read at the lag the
+        # traffic actually crossed m, ``d^f_{i,l} - d^f_{i,m}``.  Pairs
+        # whose link is the flow's first queued link have no upstream terms
+        # and keep the exact legacy arithmetic (one-hop scenarios stay
+        # bit-identical).  Pairs are sorted by upstream depth (deepest
+        # first) so each depth level is a leading slice, and all depth
+        # levels share one gather per step.
+        att_positions = np.empty(0, dtype=np.intp)
+        att_levels: list[tuple[slice, slice, np.ndarray]] = []
+        if attenuating:
+            att_list: list[tuple[int, int, int, list[int]]] = []
+            pos = 0
+            for idx in queued_links:
+                for i in net.users(idx):
+                    ups = net.upstream_queued_links(i, idx)
+                    if ups:
+                        att_list.append((pos, i, idx, ups))
+                    pos += 1
+            att_list.sort(key=lambda entry: -len(entry[3]))
+            if att_list:
+                att_positions = np.array([p for p, _, _, _ in att_list], dtype=np.intp)
+                max_depth = len(att_list[0][3])
+                att_cols: list[int] = []
+                att_delays: list[float] = []
+                for d in range(max_depth):
+                    count = sum(1 for _, _, _, ups in att_list if len(ups) > d)
+                    caps = np.empty(count)
+                    for local, (_, i, idx, ups) in enumerate(att_list[:count]):
+                        m = ups[d]
+                        att_cols.append(2 * num_queued + pos_of_link[m])
+                        att_delays.append(
+                            net.forward_delay(i, idx) - net.forward_delay(i, m)
+                        )
+                        caps[local] = net.links[m].capacity_pps
+                    offset = len(att_cols) - count
+                    att_levels.append(
+                        (slice(0, count), slice(offset, offset + count), caps)
+                    )
+                att_cols_arr = np.array(att_cols, dtype=np.intp)
+                att_lags = link_history.lag_steps(np.array(att_delays, dtype=float))
+
+        # All link-state reads of a step sample the same (immutable) ring
+        # buffer, so the attenuated pipeline fuses them into one gather:
+        # [attenuation survivals | per-flow bottleneck obs | multi-pair
+        # loss | multi-pair arrival | multi-pair queue].
+        fused_cols = None
+        if attenuating and multi_flows:
+            pieces = (
+                (att_cols_arr, att_lags),
+                (obs_cols, obs_lags),
+                (multi_cols_arr, multi_lags),
+                (multi_arr_cols, multi_lags),
+                (multi_q_cols, multi_lags),
+            )
+            fused_cols = np.concatenate([cols for cols, _ in pieces])
+            fused_lags = np.concatenate([lags for _, lags in pieces])
+            bounds = np.cumsum([0] + [len(cols) for cols, _ in pieces])
+            (s_att, s_obs, s_loss, s_arr, s_queue) = (
+                slice(bounds[k], bounds[k + 1]) for k in range(5)
+            )
 
         # Path latency (Eq. 3) = constant propagation part + incidence
         # matrix times the per-link queueing delays.
@@ -314,9 +446,18 @@ class FluidSimulator:
 
         for step in range(steps + 1):
             t = step * dt
+            if fused_cols is not None:
+                fused = link_history.gather(fused_cols, fused_lags)
 
-            # 1. Link arrival rates from delayed sending rates (Eq. 1).
+            # 1. Link arrival rates from delayed sending rates (Eq. 1),
+            # attenuated by upstream loss and capacity along each path.
             delayed_rates = rate_history.gather(user_flows_arr, user_lags)
+            if att_positions.size:
+                att_surv = 1.0 - fused[s_att]
+                contrib = delayed_rates[att_positions]
+                for rows, seg, caps in att_levels:
+                    np.minimum(contrib[rows] * att_surv[seg], caps, out=contrib[rows])
+                delayed_rates[att_positions] = contrib
             for k in range(num_queued):
                 arrival[k] = delayed_rates[segments[k]].sum()
             if all_droptail:
@@ -345,12 +486,18 @@ class FluidSimulator:
             latency = latency_const + queue_incidence @ queueing_delay
             own_delayed = rate_history.gather(flow_index, own_lags)
             tau_delayed = latency_history.gather(flow_index, rtt_lags)
-            obs = link_history.gather(obs_cols, obs_lags)
+            if fused_cols is not None:
+                obs = fused[s_obs]
+            else:
+                obs = link_history.gather(obs_cols, obs_lags)
             y_delayed = obs[:num_flows]
             q_delayed = obs[num_flows : 2 * num_flows]
             p_delayed = obs[2 * num_flows :]
             if multi_flows:
-                survive = 1.0 - link_history.gather(multi_cols_arr, multi_lags)
+                if fused_cols is not None:
+                    survive = 1.0 - fused[s_loss]
+                else:
+                    survive = 1.0 - link_history.gather(multi_cols_arr, multi_lags)
                 p_delayed[multi_flows_arr] = 1.0 - np.multiply.reduceat(
                     survive, multi_starts
                 )
@@ -362,6 +509,54 @@ class FluidSimulator:
                 np.minimum(own_delayed / y_safe * btl_capacity, btl_capacity),
                 np.minimum(own_delayed, btl_capacity),
             )
+            if multi_flows and attenuating:
+                # Effective bottleneck for multi-hop flows: exclusive prefix
+                # survival S_l and the flow's attenuated contribution R_l
+                # (min(r * s, C) recursion) along each segment, then the
+                # argmin of C_l / S_l picks the reference link (first on
+                # ties = most upstream).  All segments are processed as the
+                # padded (num_multi, max_len) matrix built above.
+                if ragged:
+                    # Padding entries keep their initial survive = 1.0.
+                    np.place(surv_pad, pad_valid, survive)
+                else:
+                    surv_pad = survive.reshape(num_multi, max_len)
+                np.cumprod(surv_pad[:, :-1], axis=1, out=surv_prefix[:, 1:])
+                own_contrib[:, 0] = own_delayed[multi_flows_arr]
+                for d in range(1, max_len):
+                    np.minimum(
+                        own_contrib[:, d - 1] * surv_pad[:, d - 1],
+                        caps_pad[:, d - 1],
+                        out=own_contrib[:, d],
+                    )
+                # An upstream link dropping everything (RED at a full
+                # buffer) zeroes the survival prefix: no traffic reaches
+                # the links behind it, so their effective capacity is
+                # infinite rather than a division by zero.
+                unreachable = surv_prefix == 0.0
+                if unreachable.any():
+                    np.divide(
+                        caps_pad,
+                        np.where(unreachable, 1.0, surv_prefix),
+                        out=eff_capacity,
+                    )
+                    eff_capacity[unreachable] = np.inf
+                else:
+                    np.divide(caps_pad, surv_prefix, out=eff_capacity)
+                choice = np.argmin(eff_capacity, axis=1)
+                chosen = pad_idx[multi_rows, choice]
+                cap_dyn = multi_caps[chosen]
+                y_dyn = fused[s_arr][chosen]
+                q_dyn = fused[s_queue][chosen]
+                own_dyn = own_contrib[multi_rows, choice]
+                has_dyn = y_dyn > 0
+                sat_dyn = (q_dyn > 0) | (y_dyn > cap_dyn)
+                y_safe_dyn = np.where(has_dyn, y_dyn, 1.0)
+                delivery_rates[multi_flows_arr] = np.where(
+                    sat_dyn & has_dyn,
+                    np.minimum(own_dyn / y_safe_dyn * cap_dyn, cap_dyn),
+                    np.minimum(own_dyn, cap_dyn),
+                )
 
             # 3. CCA updates: batched groups, then scalar-fallback flows.
             active_all = None if t >= max_start else start_times <= t
@@ -557,6 +752,31 @@ class FluidSimulator:
             i: [net.backward_delay(i, idx) for idx in queued_on_path[i]]
             for i in range(num_flows)
         }
+        path_capacities = {
+            i: [net.links[idx].capacity_pps for idx in queued_on_path[i]]
+            for i in range(num_flows)
+        }
+        # Upstream attenuation terms of Eq. 1 per (link, user) pair: the
+        # queued links m upstream of the link on the user's path, each with
+        # the lag the traffic crossed m (``d^f_{i,l} - d^f_{i,m}``) and its
+        # capacity — the survival/cap recursion mirrors the vectorized
+        # pipeline operation for operation.  First-queued-link pairs carry
+        # no terms, keeping the legacy arithmetic bit-identical.
+        attenuating = self.attenuate_arrivals
+        upstream_terms = {
+            idx: [
+                [
+                    (
+                        m,
+                        net.forward_delay(i, idx) - net.forward_delay(i, m),
+                        net.links[m].capacity_pps,
+                    )
+                    for m in net.upstream_queued_links(i, idx)
+                ]
+                for i in users[idx]
+            ]
+            for idx in queued_links
+        }
 
         queue_lengths = {idx: 0.0 for idx in queued_links}
         current_latency = propagation_rtt.copy()
@@ -575,6 +795,15 @@ class FluidSimulator:
                         for i, d in zip(flow_ids, user_forward_delays[idx])
                     ]
                 )
+                if attenuating:
+                    for k, terms in enumerate(upstream_terms[idx]):
+                        if not terms:
+                            continue
+                        r = delayed[k]
+                        for m, crossing_delay, cap in terms:
+                            s = 1.0 - loss_history.at_delay(m, crossing_delay)
+                            r = min(r * s, cap)
+                        delayed[k] = r
                 arrival = float(np.sum(delayed))
                 loss = queues.loss_probability(
                     link.discipline,
@@ -606,20 +835,59 @@ class FluidSimulator:
                 # rate; a flow's delivery can never exceed the bottleneck
                 # capacity.
                 own_delayed = rate_history.at_delay(i, propagation_rtt[i] + dt)
-                y_delayed = arrival_history.at_delay(btl, d_b)
-                q_delayed = queue_history.at_delay(btl, d_b)
-                saturated = q_delayed > 0 or y_delayed > link.capacity_pps
-                if saturated and y_delayed > 0:
-                    delivery_rates[i] = min(
-                        own_delayed / y_delayed * link.capacity_pps,
-                        link.capacity_pps,
-                    )
+                links_on_path = queued_on_path[i]
+                if len(links_on_path) == 1 or not attenuating:
+                    y_delayed = arrival_history.at_delay(btl, d_b)
+                    q_delayed = queue_history.at_delay(btl, d_b)
+                    saturated = q_delayed > 0 or y_delayed > link.capacity_pps
+                    if saturated and y_delayed > 0:
+                        delivery_rates[i] = min(
+                            own_delayed / y_delayed * link.capacity_pps,
+                            link.capacity_pps,
+                        )
+                    else:
+                        delivery_rates[i] = min(own_delayed, link.capacity_pps)
                 else:
-                    delivery_rates[i] = min(own_delayed, link.capacity_pps)
+                    # Effective bottleneck under attenuation: walk the path
+                    # accumulating the exclusive prefix survival S and the
+                    # flow's attenuated contribution (min(r * s, C)
+                    # recursion); the link with the smallest survival-scaled
+                    # capacity C / S is the reference (first on ties), and
+                    # Eq. 17 uses the flow's contribution there as the
+                    # numerator.  Mirrors the vectorized pipeline exactly.
+                    surv_prefix = 1.0
+                    contrib = own_delayed
+                    best_eff = math.inf
+                    best_link = links_on_path[0]
+                    best_back = path_back_delays[i][0]
+                    best_cap = path_capacities[i][0]
+                    best_contrib = contrib
+                    for idx, back, cap in zip(
+                        links_on_path, path_back_delays[i], path_capacities[i]
+                    ):
+                        # Zero prefix survival = the link is unreachable
+                        # (everything dropped upstream): effective capacity
+                        # is infinite, mirroring the vectorized pipeline.
+                        eff = cap / surv_prefix if surv_prefix > 0.0 else math.inf
+                        if eff < best_eff:
+                            best_eff = eff
+                            best_link, best_back = idx, back
+                            best_cap, best_contrib = cap, contrib
+                        s = 1.0 - loss_history.at_delay(idx, back)
+                        surv_prefix *= s
+                        contrib = min(contrib * s, cap)
+                    y_delayed = arrival_history.at_delay(best_link, best_back)
+                    q_delayed = queue_history.at_delay(best_link, best_back)
+                    saturated = q_delayed > 0 or y_delayed > best_cap
+                    if saturated and y_delayed > 0:
+                        delivery_rates[i] = min(
+                            best_contrib / y_delayed * best_cap, best_cap
+                        )
+                    else:
+                        delivery_rates[i] = min(best_contrib, best_cap)
                 # Path loss (Eq. 7), observed one backward delay later.  On a
                 # multi-bottleneck path the per-link losses compose as
                 # 1 - prod_l (1 - p_l), each with its own backward delay.
-                links_on_path = queued_on_path[i]
                 if len(links_on_path) == 1:
                     path_loss = loss_history.at_delay(btl, d_b)
                 else:
@@ -754,10 +1022,14 @@ def simulate(
     config: ScenarioConfig,
     record_interval_s: float = 1e-3,
     vectorized: bool = True,
+    attenuate_arrivals: bool = True,
 ) -> Trace:
     """Convenience wrapper: build a :class:`FluidSimulator` and run it."""
     return FluidSimulator(
-        config, record_interval_s=record_interval_s, vectorized=vectorized
+        config,
+        record_interval_s=record_interval_s,
+        vectorized=vectorized,
+        attenuate_arrivals=attenuate_arrivals,
     ).run()
 
 

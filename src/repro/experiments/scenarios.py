@@ -19,8 +19,11 @@ lists as future work, on both substrates.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .. import topology as topology_builders
 from ..config import (
+    QUEUE_DISCIPLINES,
     FlowConfig,
     FluidParams,
     ScenarioConfig,
@@ -173,11 +176,12 @@ def parking_lot_scenario(
     hops: int = 3,
     cross_flows: int = 1,
     cross_cca: str = "cubic",
-    capacity_mbps: float = 100.0,
+    capacity_mbps: float | Sequence[float] = 100.0,
     path_delay_s: float = 0.010,
+    hop_delays_s: Sequence[float] | None = None,
     rtt_range_s: tuple[float, float] = (0.030, 0.040),
     buffer_bdp: float = 1.0,
-    discipline: str = "droptail",
+    discipline: str | Sequence[str] = "droptail",
     duration_s: float = 5.0,
     dt: float = SWEEP_DT,
     whi_init_bdp: float | None = None,
@@ -192,41 +196,53 @@ def parking_lot_scenario(
     RTTs cover the same 30-40 ms range as the paper's dumbbell scenarios
     and results are comparable hop-count to hop-count.  Buffers are
     ``buffer_bdp`` reference-BDP multiples at every hop.
+
+    The chain may be heterogeneous: ``capacity_mbps`` and ``discipline``
+    accept per-hop sequences, and ``hop_delays_s`` replaces the even
+    ``path_delay_s`` split with explicit per-hop delays.  The fair-share
+    initial window and the reference BDP follow the smallest-capacity hop.
     """
     if mix not in CCA_MIXES:
         raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
     if hops < 1:
         raise ValueError("hops must be positive")
     long_ccas = CCA_MIXES[mix]
+    if hop_delays_s is None:
+        hop_delays = [path_delay_s / hops] * hops
+        path_delay = path_delay_s
+    else:
+        hop_delays = [float(d) for d in hop_delays_s]
+        path_delay = sum(hop_delays)
     topo = topology_builders.parking_lot(
         hops,
         cross_flows=cross_flows,
         long_flows=len(long_ccas),
         capacity_mbps=capacity_mbps,
-        hop_delay_s=path_delay_s / hops,
+        hop_delay_s=hop_delays,
         buffer_bdp=buffer_bdp,
         discipline=discipline,
     )
     # Long flows spread their RTTs over the paper's range given the full
     # chain delay; each hop's cross flows spread over the same range given
-    # the single-hop delay.
+    # that hop's delay.
     flows = [
         FlowConfig(cca=cca, access_delay_s=delay)
         for cca, delay in zip(
-            long_ccas, spread_access_delays(len(long_ccas), rtt_range_s, path_delay_s)
+            long_ccas, spread_access_delays(len(long_ccas), rtt_range_s, path_delay)
         )
     ]
     if cross_flows:
-        cross_delays = spread_access_delays(cross_flows, rtt_range_s, path_delay_s / hops)
-        for _ in range(hops):
+        for h in range(hops):
+            cross_delays = spread_access_delays(cross_flows, rtt_range_s, hop_delays[h])
             flows.extend(
                 FlowConfig(cca=cross_cca, access_delay_s=delay) for delay in cross_delays
             )
+    reference_mbps = topo.reference_link.capacity_mbps
     return ScenarioConfig(
         bottleneck=None,
         flows=tuple(flows),
         duration_s=duration_s,
-        fluid=_sweep_fluid(len(flows), rtt_range_s, dt, whi_init_bdp, capacity_mbps),
+        fluid=_sweep_fluid(len(flows), rtt_range_s, dt, whi_init_bdp, reference_mbps),
         seed=seed,
         topology=topo,
     )
@@ -237,11 +253,11 @@ def multi_dumbbell_scenario(
     dumbbells: int = 2,
     span_flows: int = 1,
     span_cca: str = "cubic",
-    capacity_mbps: float = 100.0,
-    bottleneck_delay_s: float = 0.010,
+    capacity_mbps: float | Sequence[float] = 100.0,
+    bottleneck_delay_s: float | Sequence[float] = 0.010,
     rtt_range_s: tuple[float, float] = (0.030, 0.040),
     buffer_bdp: float = 1.0,
-    discipline: str = "droptail",
+    discipline: str | Sequence[str] = "droptail",
     duration_s: float = 5.0,
     dt: float = SWEEP_DT,
     whi_init_bdp: float | None = None,
@@ -253,7 +269,9 @@ def multi_dumbbell_scenario(
     ``dumbbells`` bottlenecks (so heterogeneous mixes stay heterogeneous on
     every dumbbell); ``span_flows`` additional ``span_cca`` flows traverse
     every bottleneck in series, carrying congestion from one dumbbell into
-    the next.
+    the next.  ``capacity_mbps``, ``bottleneck_delay_s`` and ``discipline``
+    accept per-dumbbell sequences for heterogeneous grids; the fair-share
+    initial window and the reference BDP follow the smallest capacity.
     """
     if mix not in CCA_MIXES:
         raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
@@ -261,22 +279,28 @@ def multi_dumbbell_scenario(
         raise ValueError("dumbbells must be positive")
     ccas = CCA_MIXES[mix]
     local_ccas = [list(ccas[j::dumbbells]) for j in range(dumbbells)]
+    if isinstance(bottleneck_delay_s, (int, float)):
+        delays_per = [float(bottleneck_delay_s)] * dumbbells
+        span_path_delay = float(bottleneck_delay_s) * dumbbells
+    else:
+        delays_per = [float(d) for d in bottleneck_delay_s]
+        span_path_delay = sum(delays_per)
     topo = topology_builders.multi_dumbbell(
         dumbbells,
         flows_per_dumbbell=[len(group) for group in local_ccas],
         span_flows=span_flows,
         capacity_mbps=capacity_mbps,
-        delay_s=bottleneck_delay_s,
+        delay_s=delays_per,
         buffer_bdp=buffer_bdp,
         discipline=discipline,
     )
     flows: list[FlowConfig] = []
-    for group in local_ccas:
+    for j, group in enumerate(local_ccas):
         if not group:
             # More dumbbells than mix flows: the surplus dumbbells carry
             # only spanning traffic (the builder permits 0 local flows).
             continue
-        delays = spread_access_delays(len(group), rtt_range_s, bottleneck_delay_s)
+        delays = spread_access_delays(len(group), rtt_range_s, delays_per[j])
         flows.extend(
             FlowConfig(cca=cca, access_delay_s=delay)
             for cca, delay in zip(group, delays)
@@ -285,7 +309,6 @@ def multi_dumbbell_scenario(
         # A spanning flow's propagation floor is the whole chain of
         # bottlenecks; keep the requested RTT spread but shift the range up
         # when the floor exceeds it (e.g. 4+ dumbbells at 10 ms each).
-        span_path_delay = bottleneck_delay_s * dumbbells
         low, high = rtt_range_s
         floor = 2.0 * span_path_delay
         if low < floor:
@@ -298,10 +321,67 @@ def multi_dumbbell_scenario(
         bottleneck=None,
         flows=tuple(flows),
         duration_s=duration_s,
-        fluid=_sweep_fluid(len(flows), rtt_range_s, dt, whi_init_bdp, capacity_mbps),
+        fluid=_sweep_fluid(
+            len(flows), rtt_range_s, dt, whi_init_bdp,
+            topo.reference_link.capacity_mbps,
+        ),
         seed=seed,
         topology=topo,
     )
+
+
+def validate_hop_axis(
+    hops: int,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
+    preset: str | None = None,
+) -> tuple[tuple[float, ...] | None, tuple[float, ...] | None, tuple[str, ...] | None]:
+    """Validate heterogeneous per-hop axis values against the hop count.
+
+    Returns the normalised ``(capacities, delays, disciplines)`` tuples (or
+    ``None`` where unset).  Raises a clear :class:`ValueError` on a length
+    mismatch, a non-positive capacity/delay, an unknown discipline, or a
+    per-hop list combined with the one-link ``"dumbbell"`` preset — before
+    any deep numpy machinery can trip over the malformed shape.
+    """
+    axes = (
+        ("hop_capacities", hop_capacities),
+        ("hop_delays", hop_delays),
+        ("hop_disciplines", hop_disciplines),
+    )
+    if preset == "dumbbell":
+        for name, values in axes:
+            if values is not None:
+                raise ValueError(
+                    f"{name} only applies to multi-bottleneck presets "
+                    f"({', '.join(p for p in TOPOLOGY_PRESETS if p != 'dumbbell')}), "
+                    "not to the one-link dumbbell"
+                )
+    for name, values in axes:
+        if values is not None and len(values) != hops:
+            raise ValueError(
+                f"{name} lists {len(values)} values but hops={hops}; "
+                "provide exactly one value per hop"
+            )
+    capacities = delays = None
+    if hop_capacities is not None:
+        capacities = tuple(float(c) for c in hop_capacities)
+        if any(c <= 0 for c in capacities):
+            raise ValueError(f"hop_capacities must be positive, got {capacities}")
+    if hop_delays is not None:
+        delays = tuple(float(d) for d in hop_delays)
+        if any(d <= 0 for d in delays):
+            raise ValueError(f"hop_delays must be positive, got {delays}")
+    disciplines = None
+    if hop_disciplines is not None:
+        disciplines = tuple(str(d) for d in hop_disciplines)
+        unknown = [d for d in disciplines if d not in QUEUE_DISCIPLINES]
+        if unknown:
+            raise ValueError(
+                f"unknown hop_disciplines {unknown}; expected one of {QUEUE_DISCIPLINES}"
+            )
+    return capacities, delays, disciplines
 
 
 def topology_scenario(
@@ -316,6 +396,9 @@ def topology_scenario(
     dt: float = SWEEP_DT,
     whi_init_bdp: float | None = None,
     seed: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
 ) -> ScenarioConfig:
     """Build a scenario from a topology preset name (the sweep/CLI axis).
 
@@ -323,7 +406,14 @@ def topology_scenario(
     count for ``"multi-dumbbell"``; ``cross_flows`` is the per-hop cross
     traffic for the former and the spanning-flow count for the latter.
     ``"dumbbell"`` ignores both and reproduces :func:`aggregate_scenario`.
+
+    ``hop_capacities`` (Mbps), ``hop_delays`` (seconds) and
+    ``hop_disciplines`` open the heterogeneous axis: one value per hop /
+    dumbbell, validated up front (see :func:`validate_hop_axis`).
     """
+    hop_capacities, hop_delays, hop_disciplines = validate_hop_axis(
+        hops, hop_capacities, hop_delays, hop_disciplines, preset=preset
+    )
     if preset == "dumbbell":
         return aggregate_scenario(
             mix,
@@ -340,8 +430,10 @@ def topology_scenario(
             hops=hops,
             cross_flows=cross_flows,
             cross_cca=cross_cca,
+            capacity_mbps=hop_capacities if hop_capacities is not None else 100.0,
+            hop_delays_s=hop_delays,
             buffer_bdp=buffer_bdp,
-            discipline=discipline,
+            discipline=hop_disciplines if hop_disciplines is not None else discipline,
             duration_s=duration_s,
             dt=dt,
             whi_init_bdp=whi_init_bdp,
@@ -353,8 +445,10 @@ def topology_scenario(
             dumbbells=hops,
             span_flows=cross_flows,
             span_cca=cross_cca,
+            capacity_mbps=hop_capacities if hop_capacities is not None else 100.0,
+            bottleneck_delay_s=hop_delays if hop_delays is not None else 0.010,
             buffer_bdp=buffer_bdp,
-            discipline=discipline,
+            discipline=hop_disciplines if hop_disciplines is not None else discipline,
             duration_s=duration_s,
             dt=dt,
             whi_init_bdp=whi_init_bdp,

@@ -40,7 +40,11 @@ from ..metrics.aggregate import AggregateMetrics
 #: v2: the topology subsystem — ``ScenarioConfig`` grew ``topology`` (and
 #: ``LinkConfig`` a ``name``), so every scenario hash changed; keys are now
 #: topology-aware (a parking-lot point and a dumbbell point never collide).
-SCHEMA_VERSION = 2
+#: v3: the fluid model attenuates multi-hop arrivals by upstream
+#: loss/capacity and picks the effective (survival-scaled) bottleneck for
+#: Eq. 17, so every multi-hop fluid result changed; v2 rows are skipped on
+#: load rather than served stale.
+SCHEMA_VERSION = 3
 
 #: Environment variable naming the default store file.
 ENV_VAR = "REPRO_STORE"

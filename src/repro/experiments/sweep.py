@@ -143,6 +143,23 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _hop_tuple(values: Sequence | None) -> tuple | None:
+    """Normalise a per-hop axis value into a hashable tuple (or ``None``)."""
+    return None if values is None else tuple(values)
+
+
+def hop_discipline_label(hop_disciplines: Sequence[str]) -> str:
+    """The discipline label of a point whose hops carry explicit disciplines.
+
+    With ``hop_disciplines`` set, the scenario ignores the swept
+    ``discipline`` value, so rows/meta/cache keys carry the per-hop
+    composite (e.g. ``"red/droptail/red"``) instead of a misleading grid
+    label — identical scenarios alias onto one cached/stored point no
+    matter which grid label they were requested under.
+    """
+    return "/".join(hop_disciplines)
+
+
 def _cache_key(
     mix: str,
     buffer_bdp: float,
@@ -158,6 +175,9 @@ def _cache_key(
     topology: str | None = None,
     hops: int = 3,
     cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
 ) -> tuple:
     # The seed and the emulator's sampling parameters are part of the key:
     # omitting them aliased points that differ only in seed (or in
@@ -169,13 +189,15 @@ def _cache_key(
         seed = 1
         record_interval_s = DEFAULT_RECORD_INTERVAL_S
         scheduler = DEFAULT_SCHEDULER
-    # The "dumbbell" preset *is* the legacy grid, and hops/cross_flows are
-    # meaningless without a multi-bottleneck preset: normalise so identical
-    # scenarios share one cache slot.
+    # The "dumbbell" preset *is* the legacy grid, and hops/cross_flows and
+    # the heterogeneous per-hop lists are meaningless without a
+    # multi-bottleneck preset: normalise so identical scenarios share one
+    # cache slot.
     if topology in (None, "dumbbell"):
         topology = None
         hops = 0
         cross_flows = 0
+        hop_capacities = hop_delays = hop_disciplines = None
     return (
         mix,
         buffer_bdp,
@@ -191,6 +213,9 @@ def _cache_key(
         topology,
         hops,
         cross_flows,
+        _hop_tuple(hop_capacities),
+        _hop_tuple(hop_delays),
+        _hop_tuple(hop_disciplines),
     )
 
 
@@ -222,6 +247,9 @@ def _point_config(
     topology: str | None = None,
     hops: int = 3,
     cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
 ):
     if topology not in (None, "dumbbell"):
         if short_rtt:
@@ -237,6 +265,14 @@ def _point_config(
             dt=dt,
             whi_init_bdp=whi_init_bdp,
             seed=seed,
+            hop_capacities=hop_capacities,
+            hop_delays=hop_delays,
+            hop_disciplines=hop_disciplines,
+        )
+    if hop_capacities is not None or hop_delays is not None or hop_disciplines is not None:
+        # Dumbbell / legacy grid: per-hop lists have nothing to apply to.
+        scenarios.validate_hop_axis(
+            hops, hop_capacities, hop_delays, hop_disciplines, preset="dumbbell"
         )
     return scenarios.aggregate_scenario(
         mix,
@@ -265,6 +301,9 @@ def _store_meta(
     topology: str | None = None,
     hops: int = 3,
     cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
 ) -> dict:
     meta = {
         "mix": mix,
@@ -281,6 +320,12 @@ def _store_meta(
         meta["topology"] = topology
         meta["hops"] = hops
         meta["cross_flows"] = cross_flows
+        if hop_capacities is not None:
+            meta["hop_capacities"] = list(hop_capacities)
+        if hop_delays is not None:
+            meta["hop_delays"] = list(hop_delays)
+        if hop_disciplines is not None:
+            meta["hop_disciplines"] = list(hop_disciplines)
     if substrate == "emulation":
         meta["record_interval_s"] = record_interval_s
         meta["scheduler"] = scheduler
@@ -305,6 +350,9 @@ def run_point(
     topology: str | None = None,
     hops: int = 3,
     cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
 ) -> SweepPoint | SummaryPoint:
     """Run (or fetch from cache/store) a single sweep point.
 
@@ -319,9 +367,22 @@ def run_point(
     "multi-dumbbell"; ``None``/"dumbbell" is the legacy grid) with ``hops``
     chain links / dumbbells and ``cross_flows`` per-hop cross / spanning
     flows (see :func:`~repro.experiments.scenarios.topology_scenario`).
+    ``hop_capacities``/``hop_delays``/``hop_disciplines`` make the chain
+    heterogeneous (one value per hop, validated up front); they are part of
+    the cache key and the store meta.
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
+    # ``topology=None`` is the legacy dumbbell grid, where per-hop lists
+    # have nothing to apply to — validate them under the same rule.
+    hop_capacities, hop_delays, hop_disciplines = scenarios.validate_hop_axis(
+        hops, hop_capacities, hop_delays, hop_disciplines,
+        preset=topology or "dumbbell",
+    )
+    if hop_disciplines is not None:
+        # The per-hop list overrides the scalar discipline; label the point
+        # (and key/persist it) by what actually ran.
+        discipline = hop_discipline_label(hop_disciplines)
     store = resolve_store(store)
     if seeds is not None:
         seed_list = _seed_list(seeds)
@@ -343,6 +404,9 @@ def run_point(
                 topology=topology,
                 hops=hops,
                 cross_flows=cross_flows,
+                hop_capacities=hop_capacities,
+                hop_delays=hop_delays,
+                hop_disciplines=hop_disciplines,
             )
             for s in seed_list
         ]
@@ -357,12 +421,13 @@ def run_point(
     key = _cache_key(
         mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
         whi_init_bdp, seed, record_interval_s, scheduler, topology, hops, cross_flows,
+        hop_capacities, hop_delays, hop_disciplines,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
     config = _point_config(
         mix, buffer_bdp, discipline, short_rtt, duration_s, dt, whi_init_bdp, seed,
-        topology, hops, cross_flows,
+        topology, hops, cross_flows, hop_capacities, hop_delays, hop_disciplines,
     )
     metrics = None
     if store is not None:
@@ -384,6 +449,7 @@ def run_point(
                     mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
                     dt, whi_init_bdp, seed, record_interval_s, scheduler,
                     topology, hops, cross_flows,
+                    hop_capacities, hop_delays, hop_disciplines,
                 ),
             )
     point = SweepPoint(
@@ -416,6 +482,9 @@ def run_sweep(
     topology: str | None = None,
     hops: int = 3,
     cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
 ) -> list[SweepPoint] | list[SummaryPoint]:
     """Run the full (or a reduced) aggregate-validation sweep.
 
@@ -424,7 +493,9 @@ def run_sweep(
     "multi-dumbbell") built with ``hops`` and ``cross_flows``; the (mix,
     buffer, discipline, seed) grid, the caches and the persistent store all
     work identically (the store key hashes the full scenario including its
-    topology).
+    topology).  ``hop_capacities``/``hop_delays``/``hop_disciplines`` make
+    every grid point's chain heterogeneous (one value per hop, validated
+    against ``hops`` before any point runs).
 
     ``seeds`` (an int K or an explicit seed sequence) replicates every grid
     point across scenario seeds and returns :class:`SummaryPoint` rows with
@@ -445,10 +516,25 @@ def run_sweep(
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
+    hop_capacities, hop_delays, hop_disciplines = scenarios.validate_hop_axis(
+        hops, hop_capacities, hop_delays, hop_disciplines,
+        preset=topology or "dumbbell",
+    )
     store = resolve_store(store)
     mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
     buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
     disciplines = list(disciplines) if disciplines is not None else list(scenarios.DISCIPLINES)
+    if hop_disciplines is not None:
+        # The per-hop list fixes every hop's discipline, so sweeping the
+        # discipline axis would label identical runs droptail *and* red.
+        if len(disciplines) > 1:
+            raise ValueError(
+                "hop_disciplines fixes every hop's queue discipline; restrict "
+                "the sweep to a single disciplines value (e.g. --disciplines "
+                "droptail) instead of sweeping the discipline axis"
+            )
+        # Label the grid's single discipline slot by what actually runs.
+        disciplines = [hop_discipline_label(hop_disciplines)]
     seed_list = _seed_list(seeds) if seeds is not None else [1]
     combos = [
         (discipline, mix, buffer_bdp)
@@ -464,6 +550,7 @@ def run_sweep(
             mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
             whi_init_bdp, seed, record_interval_s, scheduler,
             topology, hops, cross_flows,
+            hop_capacities, hop_delays, hop_disciplines,
         )
 
     results: dict[tuple, SweepPoint] = {}
@@ -485,6 +572,7 @@ def run_sweep(
             config = _point_config(
                 mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                 whi_init_bdp, seed, topology, hops, cross_flows,
+                hop_capacities, hop_delays, hop_disciplines,
             )
             metrics = store.get(scenario_key(config, substrate, record_interval_s, scheduler))
             if metrics is not None:
@@ -509,6 +597,7 @@ def run_sweep(
             config = _point_config(
                 mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                 whi_init_bdp, seed, topology, hops, cross_flows,
+                hop_capacities, hop_delays, hop_disciplines,
             )
             store.put(
                 scenario_key(config, substrate, record_interval_s, scheduler),
@@ -517,6 +606,7 @@ def run_sweep(
                     mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
                     dt, whi_init_bdp, seed, record_interval_s, scheduler,
                     topology, hops, cross_flows,
+                    hop_capacities, hop_delays, hop_disciplines,
                 ),
             )
 
@@ -546,6 +636,9 @@ def run_sweep(
                         topology=topology,
                         hops=hops,
                         cross_flows=cross_flows,
+                        hop_capacities=hop_capacities,
+                        hop_delays=hop_delays,
+                        hop_disciplines=hop_disciplines,
                     )
                 ] = task
             # as_completed + per-point persistence: the full future set is
@@ -572,6 +665,7 @@ def run_sweep(
                 _point_config(
                     mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                     whi_init_bdp, seed, topology, hops, cross_flows,
+                    hop_capacities, hop_delays, hop_disciplines,
                 )
                 for discipline, mix, buffer_bdp, seed in chunk
             ]
@@ -598,6 +692,7 @@ def run_sweep(
                 config = _point_config(
                     mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                     whi_init_bdp, seed, topology, hops, cross_flows,
+                    hop_capacities, hop_delays, hop_disciplines,
                 )
                 if substrate == "fluid":
                     trace = simulate(config)

@@ -35,12 +35,18 @@ Modeling notes shared by both substrates:
   parking-lot hop holds the same number of packets at every hop.
 * In the fluid substrate, per-flow path latency and loss are composed along
   the path (latency adds per-link queueing delays, loss composes as
-  ``1 - prod(1 - p_l)``); the delivery rate is attenuated at the flow's
-  smallest-capacity (bottleneck) link, as in Eq. 17.  Per-link arrival
-  rates keep the paper's Eq. 1 form (delayed *sending* rates, no upstream
-  drop attenuation), so in heavy-loss multi-hop regimes the fluid model
-  overestimates downstream load relative to the packet emulator — compare
-  substrates before leaning on fluid numbers there.
+  ``1 - prod(1 - p_l)``).  Per-link arrivals are *attenuated* along the
+  path: a flow's contribution to a downstream link is its delayed sending
+  rate multiplied by the survival product ``prod(1 - p_m)`` over upstream
+  links and capped by the smallest upstream delivered capacity, so
+  heavy-loss multi-hop regimes no longer overestimate downstream load
+  (the packet emulator gets this for free; the two substrates now agree
+  there).  The delivery rate (Eq. 17) is taken at the flow's *effective*
+  bottleneck — the path link with the smallest survival-scaled capacity.
+* Chains may be heterogeneous: ``parking_lot``/``multi_dumbbell`` accept
+  per-hop capacity, delay and discipline sequences, exposed on the CLI as
+  ``--hop-capacities``/``--hop-delays``/``--hop-disciplines`` comma-lists
+  (validated against ``--hops``) on ``repro-bbr topology/sweep/campaign``.
 """
 
 from __future__ import annotations
@@ -83,7 +89,7 @@ def parking_lot(
     capacity_mbps: float | Sequence[float] = 100.0,
     hop_delay_s: float | Sequence[float] = 0.010,
     buffer_bdp: float = 1.0,
-    discipline: str = "droptail",
+    discipline: str | Sequence[str] = "droptail",
 ) -> TopologyConfig:
     """A chain of ``hops`` bottlenecks with per-hop cross traffic.
 
@@ -91,9 +97,9 @@ def parking_lot(
     traversing hops ``hop-1 .. hop-<hops>`` in sequence, then for each hop
     ``h`` its ``cross_flows`` single-hop flows (path ``(hop-h,)``).
 
-    ``capacity_mbps`` and ``hop_delay_s`` may be scalars (homogeneous chain)
-    or per-hop sequences; the reference bottleneck defaults to the
-    smallest-capacity hop (first on ties).
+    ``capacity_mbps``, ``hop_delay_s`` and ``discipline`` may be scalars
+    (homogeneous chain) or per-hop sequences; the reference bottleneck
+    defaults to the smallest-capacity hop (first on ties).
     """
     if hops < 1:
         raise ValueError("hops must be positive")
@@ -103,13 +109,14 @@ def parking_lot(
         raise ValueError("a parking lot needs at least one flow")
     capacities = _per_hop(capacity_mbps, hops, "capacity_mbps")
     delays = _per_hop(hop_delay_s, hops, "hop_delay_s")
+    disciplines = _per_hop_str(discipline, hops, "discipline")
     names = tuple(f"hop-{h + 1}" for h in range(hops))
     links = tuple(
         LinkConfig(
             capacity_mbps=capacities[h],
             delay_s=delays[h],
             buffer_bdp=buffer_bdp,
-            discipline=discipline,
+            discipline=disciplines[h],
             name=names[h],
         )
         for h in range(hops)
@@ -127,7 +134,7 @@ def multi_dumbbell(
     capacity_mbps: float | Sequence[float] = 100.0,
     delay_s: float | Sequence[float] = 0.010,
     buffer_bdp: float = 1.0,
-    discipline: str = "droptail",
+    discipline: str | Sequence[str] = "droptail",
 ) -> TopologyConfig:
     """Several disjoint dumbbells, optionally coupled by spanning flows.
 
@@ -152,13 +159,14 @@ def multi_dumbbell(
         raise ValueError("a multi-dumbbell needs at least one flow")
     capacities = _per_hop(capacity_mbps, dumbbells, "capacity_mbps")
     delays = _per_hop(delay_s, dumbbells, "delay_s")
+    disciplines = _per_hop_str(discipline, dumbbells, "discipline")
     names = tuple(f"bottleneck-{j + 1}" for j in range(dumbbells))
     links = tuple(
         LinkConfig(
             capacity_mbps=capacities[j],
             delay_s=delays[j],
             buffer_bdp=buffer_bdp,
-            discipline=discipline,
+            discipline=disciplines[j],
             name=names[j],
         )
         for j in range(dumbbells)
@@ -176,5 +184,21 @@ def _per_hop(value: float | Sequence[float], count: int, what: str) -> list[floa
         return [float(value)] * count
     values = [float(v) for v in value]
     if len(values) != count:
-        raise ValueError(f"{what} must be a scalar or one value per hop")
+        raise ValueError(
+            f"{what} must be a scalar or one value per hop "
+            f"(got {len(values)} values for {count} hops)"
+        )
+    return values
+
+
+def _per_hop_str(value: str | Sequence[str], count: int, what: str) -> list[str]:
+    """Broadcast a scalar per-hop string parameter, or validate a sequence."""
+    if isinstance(value, str):
+        return [value] * count
+    values = [str(v) for v in value]
+    if len(values) != count:
+        raise ValueError(
+            f"{what} must be a scalar or one value per hop "
+            f"(got {len(values)} values for {count} hops)"
+        )
     return values

@@ -77,6 +77,125 @@ class TestParser:
         assert args.hops == 4 and args.cross_flows == 2
         assert cli.build_parser().parse_args(["campaign"]).topology is None
 
+    def test_hop_list_flags_parsed(self):
+        for command in (
+            ["sweep", "--topology", "parking-lot"],
+            ["campaign", "--topology", "parking-lot"],
+            ["topology", "--preset", "parking-lot"],
+        ):
+            args = cli.build_parser().parse_args(
+                command
+                + [
+                    "--hops", "3",
+                    "--hop-capacities", "100,50, 25",
+                    "--hop-delays", "0.002,0.006,0.002",
+                    "--hop-disciplines", "red,droptail,red",
+                ]
+            )
+            assert args.hop_capacities == ("100", "50", "25")
+            assert args.hop_delays == ("0.002", "0.006", "0.002")
+            assert args.hop_disciplines == ("red", "droptail", "red")
+
+    def test_hop_list_flags_default_none(self):
+        args = cli.build_parser().parse_args(["sweep"])
+        assert args.hop_capacities is None
+        assert args.hop_delays is None
+        assert args.hop_disciplines is None
+
+
+class TestHopAxisValidation:
+    """Malformed heterogeneous hop lists must exit non-zero with a clear
+    message, not crash deep inside numpy broadcasting."""
+
+    def test_length_mismatch_exits_nonzero(self, capsys):
+        code = cli.main(
+            ["topology", "--preset", "parking-lot", "--hops", "3",
+             "--hop-capacities", "100,50", "--substrate", "fluid"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "hop_capacities lists 2 values but hops=3" in captured.err
+
+    def test_nonpositive_capacity_exits_nonzero(self, capsys):
+        code = cli.main(
+            ["topology", "--preset", "parking-lot", "--hops", "2",
+             "--hop-capacities", "100,-5", "--substrate", "fluid"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "must be positive" in captured.err
+
+    def test_nonpositive_delay_exits_nonzero(self, capsys):
+        code = cli.main(
+            ["topology", "--preset", "parking-lot", "--hops", "2",
+             "--hop-delays", "0.01,0", "--substrate", "fluid"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "must be positive" in captured.err
+
+    def test_non_numeric_exits_nonzero(self, capsys):
+        code = cli.main(
+            ["topology", "--preset", "parking-lot", "--hops", "2",
+             "--hop-capacities", "100,fast", "--substrate", "fluid"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "--hop-capacities" in captured.err
+
+    def test_unknown_discipline_exits_nonzero(self, capsys):
+        code = cli.main(
+            ["topology", "--preset", "parking-lot", "--hops", "2",
+             "--hop-disciplines", "red,codel", "--substrate", "fluid"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "hop_disciplines" in captured.err
+
+    def test_hop_lists_need_multi_bottleneck_preset(self, capsys):
+        code = cli.main(
+            ["sweep", "--mixes", "BBRv1", "--buffers", "1",
+             "--hop-capacities", "100,50,25"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "multi-bottleneck" in captured.err
+        code = cli.main(
+            ["campaign", "--mixes", "BBRv1", "--buffers", "1",
+             "--hop-delays", "0.01,0.01,0.01"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "multi-bottleneck" in captured.err
+
+    def test_hop_disciplines_with_discipline_sweep_exits_nonzero(self, capsys):
+        code = cli.main(
+            ["sweep", "--mixes", "BBRv1", "--buffers", "1",
+             "--topology", "parking-lot", "--hops", "2",
+             "--hop-disciplines", "red,red"]
+        )
+        captured = capsys.readouterr()
+        assert code != 0
+        assert "single disciplines value" in captured.err
+
+    def test_sweep_passes_hop_axis_through(self, monkeypatch, capsys):
+        calls = {}
+
+        def fake_run_sweep(*args, **kwargs):
+            calls.update(kwargs)
+            return []
+
+        monkeypatch.setattr(sweep_module, "run_sweep", fake_run_sweep)
+        cli.main(
+            ["sweep", "--mixes", "BBRv1", "--topology", "parking-lot",
+             "--hops", "2", "--hop-capacities", "100,50",
+             "--hop-delays", "0.004,0.006", "--hop-disciplines", "red,red"]
+        )
+        capsys.readouterr()
+        assert calls["hop_capacities"] == (100.0, 50.0)
+        assert calls["hop_delays"] == (0.004, 0.006)
+        assert calls["hop_disciplines"] == ("red", "red")
+
 
 class TestWorkersPlumbing:
     """--workers must actually reach run_sweep (it used to be dead code)."""

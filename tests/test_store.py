@@ -107,6 +107,39 @@ class TestSweepStore:
         path.write_text(json.dumps(record) + "\n")
         assert SweepStore(path).get("old") is None
 
+    def test_schema_is_v3_after_attenuation(self):
+        # The attenuated fluid arrival pipeline changed every multi-hop
+        # fluid result; stored v2 rows are no longer comparable.
+        assert SCHEMA_VERSION == 3
+
+    def test_v2_rows_skipped_on_load(self, tmp_path):
+        # Regression: a store written by the pre-attenuation code (schema
+        # 2, e.g. a stale parking-lot fluid point) must not serve its rows
+        # — they would silently mix unattenuated multi-hop results into a
+        # corrected sweep — while the hit/miss counters keep counting the
+        # *current-schema* lookups correctly.
+        path = tmp_path / "s.jsonl"
+        stale = {
+            "schema": 2,
+            "key": "lot-point",
+            "metrics": _metrics(9.0).as_dict(),
+            "meta": {"mix": "BBRv1", "topology": "parking-lot", "hops": 3},
+        }
+        path.write_text(json.dumps(stale) + "\n")
+        store = SweepStore(path)
+        assert len(store) == 0
+        assert "lot-point" not in store
+        assert store.get("lot-point") is None
+        assert (store.hits, store.misses) == (0, 1)
+        assert store.rows(topology="parking-lot") == []
+        # A fresh v3 write under the same key supersedes the stale row and
+        # counts as a hit from then on.
+        store.put("lot-point", _metrics(1.0), meta={"mix": "BBRv1"})
+        assert store.get("lot-point") == _metrics(1.0)
+        assert (store.hits, store.misses) == (1, 1)
+        reloaded = SweepStore(path)
+        assert reloaded.get("lot-point") == _metrics(1.0)
+
     def test_rows_filtering(self, tmp_path):
         store = SweepStore(tmp_path / "s.jsonl")
         store.put("a", _metrics(1.0), meta={"mix": "BBRv1", "seed": 1})

@@ -178,6 +178,20 @@ class TestBuilders:
             max(10.0, fast.fluid.loss_based_init_window_pkts / 10.0)
         )
 
+    def test_per_hop_disciplines(self):
+        topo = topology.parking_lot(3, discipline=("red", "droptail", "red"))
+        assert [link.discipline for link in topo.links] == ["red", "droptail", "red"]
+        md = topology.multi_dumbbell(2, discipline=("droptail", "red"))
+        assert [link.discipline for link in md.links] == ["droptail", "red"]
+
+    def test_per_hop_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one value per hop"):
+            topology.parking_lot(3, capacity_mbps=(100.0, 50.0))
+        with pytest.raises(ValueError, match="one value per hop"):
+            topology.parking_lot(3, discipline=("red", "droptail"))
+        with pytest.raises(ValueError, match="one value per hop"):
+            topology.multi_dumbbell(2, delay_s=(0.01, 0.01, 0.01))
+
     def test_network_from_topology_layout(self):
         config = _parking_lot_config()
         net = Network.from_scenario(config)
@@ -188,6 +202,103 @@ class TestBuilders:
         # Cross flow on hop 2: access link then that hop only.
         assert net.paths[3].link_indices == (6, 1)
         assert net.propagation_rtt(0) == pytest.approx(config.rtt_s(0))
+
+
+class TestHeterogeneousScenarios:
+    def test_parking_lot_reference_follows_smallest_capacity(self):
+        config = scenarios.parking_lot_scenario(
+            "BBRv1", hops=3, capacity_mbps=(100.0, 25.0, 50.0)
+        )
+        assert config.topology.reference == "hop-2"
+        assert config.bottleneck.capacity_mbps == 25.0
+        # Fair-share initial window follows the reference capacity, not the
+        # 100 Mbps first hop.
+        homogeneous = scenarios.parking_lot_scenario("BBRv1", hops=3, capacity_mbps=25.0)
+        assert config.fluid.loss_based_init_window_pkts == pytest.approx(
+            homogeneous.fluid.loss_based_init_window_pkts
+        )
+
+    def test_parking_lot_per_hop_delays(self):
+        config = scenarios.parking_lot_scenario(
+            "BBRv1", hops=3, cross_flows=1, hop_delays_s=(0.002, 0.006, 0.002)
+        )
+        assert [link.delay_s for link in config.topology.links] == [0.002, 0.006, 0.002]
+        # Long flows span the 10 ms chain; each hop's cross flow sees that
+        # hop's own delay, so the hop-2 cross flow has the same RTT spread
+        # but a different access delay than hop-1's.
+        long_rtt = config.rtt_s(0)
+        assert long_rtt == pytest.approx(2 * (config.flows[0].access_delay_s + 0.010))
+        cross_hop1, cross_hop2 = config.flows[10], config.flows[11]
+        assert cross_hop1.access_delay_s != cross_hop2.access_delay_s
+
+    def test_parking_lot_scalar_arguments_unchanged(self):
+        # The heterogeneous plumbing must not disturb the homogeneous form.
+        a = scenarios.parking_lot_scenario("BBRv1", hops=3)
+        b = scenarios.parking_lot_scenario("BBRv1", hops=3, capacity_mbps=100.0)
+        assert a == b
+
+    def test_multi_dumbbell_heterogeneous(self):
+        config = scenarios.multi_dumbbell_scenario(
+            "BBRv1",
+            dumbbells=2,
+            span_flows=1,
+            capacity_mbps=(100.0, 50.0),
+            bottleneck_delay_s=(0.005, 0.015),
+            discipline=("droptail", "red"),
+        )
+        links = config.topology.links
+        assert [link.capacity_mbps for link in links] == [100.0, 50.0]
+        assert [link.delay_s for link in links] == [0.005, 0.015]
+        assert [link.discipline for link in links] == ["droptail", "red"]
+        assert config.topology.reference == "bottleneck-2"
+        # The spanning flow crosses both dumbbells: 20 ms one-way floor.
+        span_index = config.num_flows - 1
+        assert config.rtt_s(span_index) >= 2 * 0.020
+
+    def test_topology_scenario_threads_hop_axis(self):
+        config = scenarios.topology_scenario(
+            "parking-lot",
+            hops=2,
+            hop_capacities=(100.0, 50.0),
+            hop_delays=(0.004, 0.006),
+            hop_disciplines=("red", "droptail"),
+        )
+        links = config.topology.links
+        assert [link.capacity_mbps for link in links] == [100.0, 50.0]
+        assert [link.delay_s for link in links] == [0.004, 0.006]
+        assert [link.discipline for link in links] == ["red", "droptail"]
+
+    def test_validate_hop_axis_errors(self):
+        with pytest.raises(ValueError, match="hop_capacities lists 2"):
+            scenarios.validate_hop_axis(3, hop_capacities=(100.0, 50.0))
+        with pytest.raises(ValueError, match="must be positive"):
+            scenarios.validate_hop_axis(2, hop_capacities=(100.0, 0.0))
+        with pytest.raises(ValueError, match="must be positive"):
+            scenarios.validate_hop_axis(2, hop_delays=(0.01, -0.01))
+        with pytest.raises(ValueError, match="unknown hop_disciplines"):
+            scenarios.validate_hop_axis(2, hop_disciplines=("red", "codel"))
+        with pytest.raises(ValueError, match="dumbbell"):
+            scenarios.validate_hop_axis(
+                2, hop_capacities=(100.0, 50.0), preset="dumbbell"
+            )
+        with pytest.raises(ValueError, match="dumbbell"):
+            scenarios.topology_scenario("dumbbell", hops=2, hop_delays=(0.01, 0.01))
+
+    def test_both_substrates_run_heterogeneous_chain(self):
+        config = scenarios.topology_scenario(
+            "parking-lot",
+            hops=2,
+            hop_capacities=(100.0, 50.0),
+            hop_disciplines=("droptail", "red"),
+            duration_s=0.5,
+            dt=1e-3,
+        )
+        fluid = simulate(config)
+        emu = emulate(config)
+        for trace in (fluid, emu):
+            assert [link.name for link in trace.links] == ["hop-1", "hop-2"]
+            caps = [link.capacity_pps for link in trace.links]
+            assert caps[0] == pytest.approx(2 * caps[1])
 
 
 class TestOneHopEquivalence:
@@ -423,3 +534,125 @@ class TestTopologySweep:
         )
         assert len(points) == 2
         assert all(np.isfinite(p.metrics.utilization_percent) for p in points)
+
+    def test_hop_axis_distinguishes_cache_and_store_keys(self):
+        kwargs = dict(
+            substrate="fluid", duration_s=0.5, dt=1e-3,
+            topology="parking-lot", hops=2,
+        )
+        plain = sweep.run_point("BBRv1", 1.0, "droptail", **kwargs)
+        hetero = sweep.run_point(
+            "BBRv1", 1.0, "droptail", hop_capacities=(100.0, 50.0), **kwargs
+        )
+        assert plain.metrics != hetero.metrics
+        cfg_plain = scenarios.topology_scenario(
+            "parking-lot", hops=2, duration_s=0.5, dt=1e-3
+        )
+        cfg_hetero = scenarios.topology_scenario(
+            "parking-lot", hops=2, hop_capacities=(100.0, 50.0),
+            duration_s=0.5, dt=1e-3,
+        )
+        assert scenario_key(cfg_plain, "fluid") != scenario_key(cfg_hetero, "fluid")
+
+    def test_hop_axis_round_trips_through_store(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        kwargs = dict(
+            substrate="fluid",
+            duration_s=0.5,
+            dt=1e-3,
+            topology="parking-lot",
+            hops=2,
+            cross_flows=1,
+            hop_capacities=(100.0, 50.0),
+            hop_delays=(0.004, 0.006),
+            hop_disciplines=("red", "droptail"),
+        )
+        first = sweep.run_point("BBRv1", 1.0, "droptail", store=path, **kwargs)
+        sweep.clear_cache()
+        store = SweepStore(path)
+        second = sweep.run_point("BBRv1", 1.0, "droptail", store=store, **kwargs)
+        assert store.hits == 1
+        assert first.metrics == second.metrics
+        row = store.rows(topology="parking-lot")[0]
+        assert row["hop_capacities"] == [100.0, 50.0]
+        assert row["hop_delays"] == [0.004, 0.006]
+        assert row["hop_disciplines"] == ["red", "droptail"]
+
+    def test_run_sweep_heterogeneous_axis(self):
+        points = sweep.run_sweep(
+            mixes=["BBRv1"],
+            buffers_bdp=[1.0],
+            disciplines=["droptail"],
+            substrate="fluid",
+            duration_s=0.5,
+            dt=1e-3,
+            topology="parking-lot",
+            hops=2,
+            cross_flows=1,
+            hop_capacities=(100.0, 50.0),
+        )
+        assert len(points) == 1
+        assert np.isfinite(points[0].metrics.utilization_percent)
+
+    def test_hop_disciplines_conflict_with_discipline_axis(self):
+        # --hop-disciplines fixes every hop; sweeping droptail AND red on
+        # top would produce identical runs under two labels.
+        with pytest.raises(ValueError, match="single disciplines value"):
+            sweep.run_sweep(
+                mixes=["BBRv1"],
+                buffers_bdp=[1.0],
+                disciplines=["droptail", "red"],
+                substrate="fluid",
+                duration_s=0.5,
+                dt=1e-3,
+                topology="parking-lot",
+                hops=2,
+                hop_disciplines=("red", "red"),
+            )
+        points = sweep.run_sweep(
+            mixes=["BBRv1"],
+            buffers_bdp=[1.0],
+            disciplines=["droptail"],
+            substrate="fluid",
+            duration_s=0.5,
+            dt=1e-3,
+            topology="parking-lot",
+            hops=2,
+            hop_disciplines=("red", "red"),
+        )
+        assert len(points) == 1
+        # Rows are labelled by what actually ran, not the grid slot.
+        assert points[0].discipline == "red/red"
+
+    def test_hop_disciplines_label_and_alias(self):
+        # The same per-hop scenario requested under different grid labels
+        # must alias onto one cached point, labelled by the composite.
+        kwargs = dict(
+            substrate="fluid", duration_s=0.5, dt=1e-3,
+            topology="parking-lot", hops=2,
+            hop_disciplines=("red", "droptail"),
+        )
+        a = sweep.run_point("BBRv1", 1.0, "droptail", **kwargs)
+        b = sweep.run_point("BBRv1", 1.0, "red", **kwargs)
+        assert a.discipline == b.discipline == "red/droptail"
+        assert a is b  # cache-aliased, not recomputed
+
+    def test_run_sweep_rejects_malformed_hop_axis(self):
+        with pytest.raises(ValueError, match="one value per hop"):
+            sweep.run_sweep(
+                mixes=["BBRv1"],
+                buffers_bdp=[1.0],
+                disciplines=["droptail"],
+                substrate="fluid",
+                duration_s=0.5,
+                dt=1e-3,
+                topology="parking-lot",
+                hops=3,
+                hop_capacities=(100.0, 50.0),
+            )
+        with pytest.raises(ValueError, match="dumbbell"):
+            sweep.run_point(
+                "BBRv1", 1.0, "droptail",
+                substrate="fluid", duration_s=0.5, dt=1e-3,
+                hop_capacities=(100.0, 50.0, 25.0),
+            )
