@@ -74,7 +74,7 @@ def test_perf_fluid_step(benchmark):
     vector_scale_sps, _ = _measure(scale_config, vectorized=True)
 
     # The speedup claim is only meaningful if the traces agree.
-    for fa, fb in zip(scalar_trace.flows, vector_trace.flows):
+    for fa, fb in zip(scalar_trace.flows, vector_trace.flows, strict=True):
         np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
     np.testing.assert_allclose(
         scalar_trace.bottleneck().queue,

@@ -84,9 +84,9 @@ def test_perf_topology(benchmark):
     vector_sps, vector_trace, baseline_sps = run_once(
         benchmark, lambda: _interleaved_best(3, fluid_config)
     )
-    for fa, fb in zip(scalar_trace.flows, vector_trace.flows):
+    for fa, fb in zip(scalar_trace.flows, vector_trace.flows, strict=True):
         np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
-    for la, lb in zip(scalar_trace.links, vector_trace.links):
+    for la, lb in zip(scalar_trace.links, vector_trace.links, strict=True):
         np.testing.assert_allclose(la.queue, lb.queue, rtol=1e-9, atol=1e-9)
 
     emu_config = _config(EMULATION_SECONDS)

@@ -27,7 +27,7 @@ class StabilityResult:
     max_real_part: float
 
     @classmethod
-    def from_jacobian(cls, jacobian: np.ndarray, tolerance: float = 1e-9) -> "StabilityResult":
+    def from_jacobian(cls, jacobian: np.ndarray, tolerance: float = 1e-9) -> StabilityResult:
         eigenvalues = np.linalg.eigvals(jacobian)
         max_real = float(np.max(eigenvalues.real))
         return cls(

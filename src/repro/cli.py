@@ -12,6 +12,9 @@ Examples::
     repro-bbr sweep --topology parking-lot --hops 3 --mixes BBRv1
     repro-bbr sweep --topology parking-lot --hops 3 --hop-delays 0.002,0.02,0.002
     repro-bbr theorems
+    repro-bbr check
+    repro-bbr check --json
+    repro-bbr check --update-schema-fingerprint
 
 ``--seeds K`` replicates every sweep point under K scenario seeds and
 reports mean ± 95% CI per point; ``--store PATH`` (or the ``REPRO_STORE``
@@ -25,13 +28,22 @@ reports per-link utilization/loss/queue plus per-flow throughput;
 that topology family.  Chains may be heterogeneous:
 ``--hop-capacities``/``--hop-delays``/``--hop-disciplines`` take one
 comma-separated value per hop (validated against ``--hops``).
+
+``check`` runs the domain static-analysis suite (:mod:`repro.devtools`):
+determinism of the simulation kernels, ``derive_rng`` stream hygiene,
+cache-key completeness by mutation probing, and the unit-suffix
+conventions.  It exits 1 on findings (0 clean, 2 on usage errors) and is
+a required CI job; deliberate exceptions live in
+``src/repro/devtools/allowlist.txt``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from collections.abc import Sequence
+from pathlib import Path
 
 from . import units
 from .core.simulator import simulate
@@ -255,6 +267,43 @@ def _add_theorem_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--delay", type=float, default=0.035)
 
 
+def _add_check_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "check",
+        help="run the domain static-analysis suite (determinism, RNG streams, "
+        "cache keys, units)",
+    )
+    parser.add_argument(
+        "--root",
+        type=str,
+        default=None,
+        help="repository root to scan (default: auto-detected from the package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON document"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the current findings to a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--update-schema-fingerprint",
+        action="store_true",
+        help="regenerate the committed hashed-field-set fingerprint "
+        "(run after bumping SCHEMA_VERSION)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -268,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_parser(subparsers)
     _add_topology_parser(subparsers)
     _add_theorem_parser(subparsers)
+    _add_check_parser(subparsers)
     return parser
 
 
@@ -606,6 +656,69 @@ def _run_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _detect_repo_root() -> str:
+    """The repository root containing this installed/served package.
+
+    With the repo's ``src`` layout, the package lives at
+    ``<root>/src/repro``; fall back to the current directory when the
+    package is imported from elsewhere (e.g. an installed wheel).
+    """
+    package_dir = Path(__file__).resolve().parent
+    candidate = package_dir.parent.parent
+    if (candidate / "src" / "repro").is_dir():
+        return str(candidate)
+    return "."
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    from . import devtools
+    from .devtools.cachekey import write_schema_fingerprint
+
+    if args.update_schema_fingerprint:
+        payload = write_schema_fingerprint()
+        print(
+            f"wrote schema fingerprint for SCHEMA_VERSION "
+            f"{payload['schema_version']}: {payload['fingerprint'][:16]}..."
+        )
+        return 0
+    root = args.root if args.root is not None else _detect_repo_root()
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline file {args.baseline} not found", file=sys.stderr)
+            return 2
+        baseline = devtools.Baseline.load(baseline_path)
+    findings, warnings = devtools.run_check(root, baseline=baseline)
+    if args.write_baseline:
+        devtools.Baseline.from_findings(findings).write(Path(args.write_baseline))
+        print(f"wrote baseline with {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.as_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = (
+            "no findings"
+            if not findings
+            else f"{len(findings)} finding(s) across "
+            f"{len({f.path for f in findings})} file(s)"
+        )
+        print(f"repro-bbr check: {summary}")
+    return 1 if findings else 0
+
+
 def _run_theorems(args: argparse.Namespace) -> int:
     rows = figures.theorem_table(flow_counts=args.flows, propagation_delay_s=args.delay)
     if not rows:
@@ -625,6 +738,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _run_campaign,
         "topology": _run_topology,
         "theorems": _run_theorems,
+        "check": _run_check,
     }
     return handlers[args.command](args)
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from . import units
 
@@ -179,7 +179,7 @@ class TopologyConfig:
         """One-way propagation delay of a flow's queued-link path (no access link)."""
         return sum(self.link(name).delay_s for name in self.paths[flow_index])
 
-    def with_buffer(self, buffer_bdp: float) -> "TopologyConfig":
+    def with_buffer(self, buffer_bdp: float) -> TopologyConfig:
         """Copy with every link's buffer set to ``buffer_bdp`` reference BDPs."""
         return dataclasses.replace(
             self,
@@ -188,7 +188,7 @@ class TopologyConfig:
             ),
         )
 
-    def with_discipline(self, discipline: str) -> "TopologyConfig":
+    def with_discipline(self, discipline: str) -> TopologyConfig:
         """Copy with every link's queue discipline replaced."""
         return dataclasses.replace(
             self,
@@ -349,7 +349,7 @@ class ScenarioConfig:
             return math.inf
         return link.buffer_bdp * self.bottleneck_bdp_packets()
 
-    def with_buffer(self, buffer_bdp: float) -> "ScenarioConfig":
+    def with_buffer(self, buffer_bdp: float) -> ScenarioConfig:
         """Return a copy with a different buffer size (every queued link)."""
         if self.topology is not None:
             return dataclasses.replace(
@@ -359,7 +359,7 @@ class ScenarioConfig:
             self, bottleneck=dataclasses.replace(self.bottleneck, buffer_bdp=buffer_bdp)
         )
 
-    def with_discipline(self, discipline: str) -> "ScenarioConfig":
+    def with_discipline(self, discipline: str) -> ScenarioConfig:
         """Return a copy with a different queue discipline (every queued link)."""
         if self.topology is not None:
             return dataclasses.replace(
@@ -369,7 +369,7 @@ class ScenarioConfig:
             self, bottleneck=dataclasses.replace(self.bottleneck, discipline=discipline)
         )
 
-    def with_duration(self, duration_s: float) -> "ScenarioConfig":
+    def with_duration(self, duration_s: float) -> ScenarioConfig:
         """Return a copy of the scenario with a different duration."""
         return dataclasses.replace(self, duration_s=duration_s)
 
@@ -424,7 +424,7 @@ def dumbbell_scenario(
     access = spread_access_delays(len(ccas), rtt_range_s, bottleneck_delay_s)
     flows = tuple(
         FlowConfig(cca=cca, access_delay_s=delay)
-        for cca, delay in zip(ccas, access)
+        for cca, delay in zip(ccas, access, strict=True)
     )
     return ScenarioConfig(
         bottleneck=LinkConfig(

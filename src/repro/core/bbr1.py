@@ -29,7 +29,8 @@ what the real protocol does — and keep the genuinely continuous parts
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
 
 import numpy as np
 

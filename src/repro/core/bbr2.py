@@ -28,7 +28,8 @@ transitions (Eq. 26/27); the continuous dynamics of ``w_hi``/``w_lo``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
 
 import numpy as np
 
@@ -191,10 +192,14 @@ class Bbr2Fluid(FluidCCA):
         cruising = extra["m_crs"] >= 0.5
         draining = extra["m_dwn"] >= 0.5
         past_first_rtt = extra["t_pbw"] > tau_min
-        if not cruising and not draining and past_first_rtt:
-            if inflight > PROBE_INFLIGHT_GAIN * bdp or loss > LOSS_THRESHOLD:
-                extra["m_dwn"] = 1.0
-                draining = True
+        if (
+            not cruising
+            and not draining
+            and past_first_rtt
+            and (inflight > PROBE_INFLIGHT_GAIN * bdp or loss > LOSS_THRESHOLD)
+        ):
+            extra["m_dwn"] = 1.0
+            draining = True
         if draining:
             # Eq. (28): adopt the maximum delivery rate of the last two
             # periods as the new bottleneck-bandwidth estimate.

@@ -15,7 +15,8 @@ The congestion window is then given by the CUBIC window-growth function
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
 
 import numpy as np
 

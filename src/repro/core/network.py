@@ -93,14 +93,14 @@ class Network:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_scenario(cls, config: ScenarioConfig) -> "Network":
+    def from_scenario(cls, config: ScenarioConfig) -> Network:
         """Build the network a scenario describes (dumbbell or explicit topology)."""
         if config.topology is not None:
             return cls.from_topology(config)
         return cls.dumbbell(config)
 
     @classmethod
-    def from_topology(cls, config: ScenarioConfig) -> "Network":
+    def from_topology(cls, config: ScenarioConfig) -> Network:
         """Build a multi-bottleneck network from an explicit topology.
 
         Layout mirrors :meth:`dumbbell` (queued links first, then one access
@@ -143,7 +143,7 @@ class Network:
         return cls(links, paths)
 
     @classmethod
-    def dumbbell(cls, config: ScenarioConfig) -> "Network":
+    def dumbbell(cls, config: ScenarioConfig) -> Network:
         """Build the dumbbell topology of Fig. 3 from a scenario configuration.
 
         Each sender gets its own unsaturated access link (pure delay); all

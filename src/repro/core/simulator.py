@@ -71,7 +71,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -265,7 +265,7 @@ class FluidSimulator:
             ragged = bool(np.any(seg_lens != max_len))
             pad_idx = np.zeros((num_multi, max_len), dtype=np.intp)
             pad_invalid = np.ones((num_multi, max_len), dtype=bool)
-            for row, (start, length) in enumerate(zip(multi_starts, seg_lens)):
+            for row, (start, length) in enumerate(zip(multi_starts, seg_lens, strict=True)):
                 pad_idx[row, :length] = np.arange(start, start + length)
                 pad_invalid[row, :length] = False
             caps_pad = multi_caps[pad_idx]
@@ -792,7 +792,7 @@ class FluidSimulator:
                 delayed = np.array(
                     [
                         rate_history.at_delay(i, d)
-                        for i, d in zip(flow_ids, user_forward_delays[idx])
+                        for i, d in zip(flow_ids, user_forward_delays[idx], strict=True)
                     ]
                 )
                 if attenuating:
@@ -863,7 +863,10 @@ class FluidSimulator:
                     best_cap = path_capacities[i][0]
                     best_contrib = contrib
                     for idx, back, cap in zip(
-                        links_on_path, path_back_delays[i], path_capacities[i]
+                        links_on_path,
+                        path_back_delays[i],
+                        path_capacities[i],
+                        strict=True,
                     ):
                         # Zero prefix survival = the link is unreachable
                         # (everything dropped upstream): effective capacity
@@ -892,7 +895,7 @@ class FluidSimulator:
                     path_loss = loss_history.at_delay(btl, d_b)
                 else:
                     survive = 1.0
-                    for idx, back in zip(links_on_path, path_back_delays[i]):
+                    for idx, back in zip(links_on_path, path_back_delays[i], strict=True):
                         survive *= 1.0 - loss_history.at_delay(idx, back)
                     path_loss = 1.0 - survive
 

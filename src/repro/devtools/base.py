@@ -1,0 +1,160 @@
+"""Shared visitor infrastructure for the domain checkers.
+
+Every checker consumes a :class:`CheckContext`: the repo root plus lazily
+parsed :class:`SourceFile` objects (text, line table, ``ast`` tree), so a
+file is read and parsed once no matter how many checkers visit it.
+Checkers are plain objects with a ``name`` and a ``run(context)`` method
+returning :class:`~repro.devtools.findings.Finding` lists; AST-based ones
+subclass :class:`Checker` and get import-alias resolution helpers for free.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+#: Directories never scanned (generated artifacts, VCS internals).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".ruff_cache", ".mypy_cache"}
+
+
+@dataclass
+class SourceFile:
+    """One parsed python source file."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+
+    _lines: list[str] | None = field(default=None, repr=False)
+
+    @property
+    def lines(self) -> list[str]:
+        if self._lines is None:
+            self._lines = self.text.splitlines()
+        return self._lines
+
+    def line_at(self, lineno: int) -> str:
+        """The stripped source line at a 1-based line number."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class CheckContext:
+    """Repo root plus a parse cache shared by all checkers in one run."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._cache: dict[Path, SourceFile] = {}
+
+    def source(self, path: Path) -> SourceFile:
+        """Read and parse one file (cached)."""
+        path = path.resolve()
+        cached = self._cache.get(path)
+        if cached is not None:
+            return cached
+        text = path.read_text()
+        tree = ast.parse(text, filename=str(path))
+        try:
+            relpath = path.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        src = SourceFile(path=path, relpath=relpath, text=text, tree=tree)
+        self._cache[path] = src
+        return src
+
+    def iter_sources(self, subdirs: Iterable[str]) -> Iterator[SourceFile]:
+        """Parsed sources of every ``.py`` file under the given repo subdirs."""
+        for subdir in subdirs:
+            base = self.root / subdir
+            if base.is_file():
+                yield self.source(base)
+                continue
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if SKIP_DIRS.intersection(path.parts):
+                    continue
+                yield self.source(path)
+
+
+class ImportResolver(ast.NodeVisitor):
+    """Tracks import aliases so dotted call names resolve to real modules.
+
+    ``import numpy as np`` + ``np.random.default_rng()`` resolves to
+    ``numpy.random.default_rng``; ``from time import perf_counter`` +
+    ``perf_counter()`` resolves to ``time.perf_counter``.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports resolve inside the package, not stdlib
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted module path, or None."""
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        base = self.aliases.get(cur.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class Checker:
+    """Base class: iterate files of ``scope`` subdirs, visit each tree."""
+
+    #: Rule-id prefix, e.g. "DET"; subclasses set a descriptive name.
+    name = "checker"
+    #: Repo-relative directories (or files) this checker scans.
+    scope: tuple[str, ...] = ("src",)
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for src in context.iter_sources(self.scope):
+            findings.extend(self.check_file(src))
+        return findings
+
+    def check_file(self, src: SourceFile) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    @staticmethod
+    def imports_of(src: SourceFile) -> ImportResolver:
+        resolver = ImportResolver()
+        resolver.visit(src.tree)
+        return resolver
+
+    @staticmethod
+    def finding(
+        src: SourceFile, node: ast.AST, rule: str, message: str, hint: str = ""
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule,
+            path=src.relpath,
+            line=lineno,
+            message=message,
+            hint=hint,
+            snippet=src.line_at(lineno),
+        )

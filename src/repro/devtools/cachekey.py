@@ -1,0 +1,478 @@
+"""Cache-key completeness: every knob must reach the stored scenario key.
+
+A single unhashed config field corrupts an entire stored campaign: two
+semantically different scenarios alias onto one record and the store serves
+one's metrics for the other.  This was fixed by hand twice (PR 3: seed and
+sampling parameters missing from ``sweep._cache_key``; PR 5: per-hop
+disciplines keyed under the wrong label).  This checker machine-checks the
+invariant three ways:
+
+* ``CACHE001`` — **mutation probing**: for every dataclass field of the
+  config layer (:class:`~repro.config.ScenarioConfig` and everything it
+  nests), build a mutated scenario and require
+  :func:`~repro.experiments.store.scenario_key` to change.  Intentionally
+  excluded (field, substrate) pairs live in :data:`ALLOWED_UNHASHED`, each
+  with a justification.
+* ``CACHE002`` — **axis coverage**: every scenario-shaping parameter of
+  ``run_point``/``run_sweep`` must appear in ``sweep._cache_key`` *and*
+  ``sweep._store_meta`` (execution-only parameters such as ``workers`` are
+  allowlisted in :data:`EXECUTION_PARAMS`).
+* ``CACHE003`` — a config field the probe generator cannot mutate: the
+  probe table must grow with the config layer, so new fields cannot dodge
+  the check by being unprobeable.
+* ``CACHE004`` — **schema drift**: the hashed-field set (config fields +
+  key/meta parameters) is fingerprinted into the committed
+  ``schema_fingerprint.json``; any drift without a matching
+  ``SCHEMA_VERSION`` bump (and fingerprint regeneration via ``repro-bbr
+  check --update-schema-fingerprint``) is flagged.
+
+All entry points take the functions/classes under test as parameters so the
+test suite can probe synthetic configs and deliberately broken key
+functions (see ``tests/test_devtools.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from pathlib import Path
+from typing import Any
+
+from ..config import FlowConfig, FluidParams, LinkConfig, ScenarioConfig, TopologyConfig
+from ..experiments import sweep as sweep_mod
+from ..experiments import store as store_mod
+from ..topology import parking_lot
+from .base import CheckContext
+from .findings import Finding
+
+#: (class name, field name, substrate) triples deliberately excluded from
+#: the stored scenario key, each with its committed justification.  Keep
+#: this list short and honest: every entry is a place where two different
+#: configs intentionally share one stored record.
+ALLOWED_UNHASHED: dict[tuple[str, str, str], str] = {
+    # The fluid model is deterministic and never consumes the seed: seed
+    # replicas of a fluid point alias onto one computation and one stored
+    # record on purpose (PR 3's documented design).
+    ("ScenarioConfig", "seed", "fluid"): (
+        "fluid substrate is deterministic; seed replicas deliberately share "
+        "one stored record"
+    ),
+}
+
+#: ``run_point``/``run_sweep`` parameters that steer *execution*, not the
+#: scenario semantics, and therefore must not be hashed.
+EXECUTION_PARAMS: dict[str, str] = {
+    "use_cache": "cache bypass switch; no effect on results",
+    "store": "which store file to persist into; no effect on results",
+    "seeds": "replication axis — expands into per-seed points keyed by 'seed'",
+    "workers": "process-pool width; no effect on results",
+}
+
+#: Plural grid axes of ``run_sweep`` and the per-point parameter each
+#: expands into (the grid is keyed point-by-point).
+SWEEP_AXIS_ALIASES: dict[str, str] = {
+    "mixes": "mix",
+    "buffers_bdp": "buffer_bdp",
+    "disciplines": "discipline",
+}
+
+SUBSTRATES = ("fluid", "emulation")
+
+#: Committed fingerprint of the hashed-field set (next to this module).
+FINGERPRINT_FILE = Path(__file__).with_name("schema_fingerprint.json")
+
+#: The config dataclasses whose fields feed the scenario hash.
+CONFIG_CLASSES: tuple[type, ...] = (
+    ScenarioConfig,
+    TopologyConfig,
+    LinkConfig,
+    FlowConfig,
+    FluidParams,
+)
+
+
+def _dumbbell_base() -> ScenarioConfig:
+    return ScenarioConfig(
+        bottleneck=LinkConfig(capacity_mbps=100.0, delay_s=0.010, buffer_bdp=1.0),
+        flows=(FlowConfig("bbr1"), FlowConfig("reno", access_delay_s=0.007)),
+        duration_s=2.0,
+    )
+
+
+def _topology_base() -> ScenarioConfig:
+    topo = parking_lot(hops=2, cross_flows=0, long_flows=2)
+    return ScenarioConfig(
+        bottleneck=None,
+        flows=(FlowConfig("bbr1"), FlowConfig("cubic", access_delay_s=0.007)),
+        duration_s=2.0,
+        topology=topo,
+    )
+
+
+def _other(value: str, options: Sequence[str]) -> str:
+    for option in options:
+        if option != value:
+            return option
+    raise ValueError(f"no alternative to {value!r} in {options}")
+
+
+def _generic_mutants(value: Any) -> Iterator[Any]:
+    """Type-driven candidate replacement values for an unknown field."""
+    if isinstance(value, bool):
+        yield not value
+    elif isinstance(value, int):
+        yield value + 1
+    elif isinstance(value, float):
+        yield value * 2.0 + 0.125
+        yield value / 2.0 + 1e-6
+    elif isinstance(value, str):
+        yield value + "-mut"
+        yield "mut"
+    elif value is None:
+        yield 1.0
+        yield 1
+        yield "mut"
+    elif isinstance(value, tuple) and value:
+        yield value + (value[-1],)
+        yield value[:-1]
+
+
+# Per-field mutators that the generic type probe cannot derive (validator
+# constraints, cross-field invariants).  Keyed by (class name, field name);
+# each takes the current field value and returns a mutated one.
+_FIELD_MUTATORS: dict[tuple[str, str], Callable[[Any], Any]] = {
+    ("ScenarioConfig", "bottleneck"): lambda link: dataclasses.replace(
+        link, capacity_mbps=link.capacity_mbps * 2.0
+    ),
+    ("ScenarioConfig", "flows"): lambda flows: (
+        dataclasses.replace(flows[0], cca=_other(flows[0].cca, ("bbr1", "reno", "cubic"))),
+    ) + tuple(flows[1:]),
+    ("ScenarioConfig", "fluid"): lambda fluid: dataclasses.replace(
+        fluid, dt=fluid.dt * 2.0
+    ),
+    ("ScenarioConfig", "topology"): lambda topo: (
+        # On the legacy dumbbell base the field is None: mutate by attaching
+        # an explicit two-hop topology (paths sized for the two-flow base).
+        parking_lot(hops=2, cross_flows=0, long_flows=2)
+        if topo is None
+        else topo.with_buffer(topo.links[0].buffer_bdp * 2.0)
+    ),
+    ("LinkConfig", "discipline"): lambda disc: _other(disc, ("droptail", "red")),
+    ("LinkConfig", "name"): lambda name: name + "-renamed",
+    ("FlowConfig", "cca"): lambda cca: _other(cca, ("bbr1", "reno", "cubic")),
+    ("FluidParams", "whi_init_bdp"): lambda whi: 1.5 if whi is None else whi * 2.0,
+    ("TopologyConfig", "links"): lambda links: (
+        dataclasses.replace(links[0], capacity_mbps=links[0].capacity_mbps * 2.0),
+    ) + tuple(links[1:]),
+    ("TopologyConfig", "paths"): lambda paths: ((paths[0][0],),) + tuple(paths[1:]),
+    ("TopologyConfig", "reference"): lambda ref: _other(ref, ("hop-1", "hop-2")),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Probe:
+    """One nested dataclass instance reachable from a scenario config."""
+
+    cls: type
+    base: ScenarioConfig
+    get: Callable[[ScenarioConfig], Any]
+    set: Callable[[ScenarioConfig, Any], ScenarioConfig]
+
+
+def default_probes(
+    dumbbell: ScenarioConfig | None = None,
+    topology: ScenarioConfig | None = None,
+) -> list[Probe]:
+    """The probe set covering every config dataclass the scenario key hashes."""
+    dumbbell = dumbbell if dumbbell is not None else _dumbbell_base()
+    topology = topology if topology is not None else _topology_base()
+    return [
+        Probe(type(dumbbell), dumbbell, lambda c: c, lambda c, v: v),
+        Probe(
+            LinkConfig,
+            dumbbell,
+            lambda c: c.bottleneck,
+            lambda c, v: dataclasses.replace(c, bottleneck=v),
+        ),
+        Probe(
+            FlowConfig,
+            dumbbell,
+            lambda c: c.flows[0],
+            lambda c, v: dataclasses.replace(c, flows=(v,) + tuple(c.flows[1:])),
+        ),
+        Probe(
+            FluidParams,
+            dumbbell,
+            lambda c: c.fluid,
+            lambda c, v: dataclasses.replace(c, fluid=v),
+        ),
+        Probe(
+            TopologyConfig,
+            topology,
+            lambda c: c.topology,
+            lambda c, v: dataclasses.replace(c, topology=v),
+        ),
+    ]
+
+
+def _key_location(key_fn: Callable[..., Any]) -> tuple[str, int]:
+    try:
+        path = inspect.getsourcefile(key_fn) or "<unknown>"
+        line = inspect.getsourcelines(key_fn)[1]
+    except (OSError, TypeError):
+        return "<unknown>", 1
+    return path, line
+
+
+def _relpath(path: str, root: Path | None) -> str:
+    if root is None:
+        return path
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path
+
+
+def check_scenario_key_coverage(
+    key_fn: Callable[..., str] = store_mod.scenario_key,
+    probes: Sequence[Probe] | None = None,
+    allowed_unhashed: Mapping[tuple[str, str, str], str] = ALLOWED_UNHASHED,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Mutation-probe every config field against the stored scenario key."""
+    findings: list[Finding] = []
+    path, line = _key_location(key_fn)
+    path = _relpath(path, root)
+    for probe in probes if probes is not None else default_probes():
+        target = probe.get(probe.base)
+        if target is None or not dataclasses.is_dataclass(target):
+            continue
+        for field in dataclasses.fields(target):
+            current = getattr(target, field.name)
+            mutator = _FIELD_MUTATORS.get((probe.cls.__name__, field.name))
+            mutated_config: ScenarioConfig | None = None
+            if mutator is not None:
+                try:
+                    candidates: list[Any] = [mutator(current)]
+                except (ValueError, TypeError, AttributeError, KeyError):
+                    candidates = []
+            else:
+                candidates = list(_generic_mutants(current))
+            for candidate in candidates:
+                try:
+                    mutated = dataclasses.replace(target, **{field.name: candidate})
+                    mutated_config = probe.set(probe.base, mutated)
+                except (ValueError, TypeError, AttributeError, KeyError):
+                    continue
+                break
+            if mutated_config is None:
+                findings.append(
+                    Finding(
+                        rule="CACHE003",
+                        path=path,
+                        line=line,
+                        message=(
+                            f"no probe can mutate {probe.cls.__name__}."
+                            f"{field.name}; the cache-key probe table must "
+                            "cover every config field"
+                        ),
+                        hint=(
+                            "add a mutator for the field to "
+                            "repro.devtools.cachekey._FIELD_MUTATORS"
+                        ),
+                    )
+                )
+                continue
+            for substrate in SUBSTRATES:
+                justification = allowed_unhashed.get(
+                    (probe.cls.__name__, field.name, substrate)
+                )
+                if justification is not None:
+                    continue
+                if key_fn(probe.base, substrate) == key_fn(mutated_config, substrate):
+                    findings.append(
+                        Finding(
+                            rule="CACHE001",
+                            path=path,
+                            line=line,
+                            message=(
+                                f"{probe.cls.__name__}.{field.name} does not "
+                                f"change the stored scenario key on the "
+                                f"{substrate} substrate: two different "
+                                "scenarios would alias onto one stored record"
+                            ),
+                            hint=(
+                                "hash the field in scenario_key (bumping "
+                                "SCHEMA_VERSION) or record the exclusion in "
+                                "ALLOWED_UNHASHED with a justification"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _scenario_params(fn: Callable[..., Any], aliases: Mapping[str, str]) -> list[str]:
+    out = []
+    for name in inspect.signature(fn).parameters:
+        if name in EXECUTION_PARAMS:
+            continue
+        out.append(aliases.get(name, name))
+    return out
+
+
+def check_axis_coverage(
+    point_fn: Callable[..., Any] = sweep_mod.run_point,
+    sweep_fn: Callable[..., Any] | None = sweep_mod.run_sweep,
+    key_fn: Callable[..., tuple] = sweep_mod._cache_key,
+    meta_fn: Callable[..., dict] | None = sweep_mod._store_meta,
+    aliases: Mapping[str, str] = SWEEP_AXIS_ALIASES,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Every scenario-shaping sweep parameter must reach the cache key/meta."""
+    findings: list[Finding] = []
+    key_params = set(inspect.signature(key_fn).parameters)
+    meta_params = set(inspect.signature(meta_fn).parameters) if meta_fn else None
+    path, line = _key_location(key_fn)
+    path = _relpath(path, root)
+    sources: list[tuple[str, Callable[..., Any]]] = [(point_fn.__name__, point_fn)]
+    if sweep_fn is not None:
+        sources.append((sweep_fn.__name__, sweep_fn))
+    for fn_name, fn in sources:
+        for param in _scenario_params(fn, aliases):
+            if param not in key_params:
+                findings.append(
+                    Finding(
+                        rule="CACHE002",
+                        path=path,
+                        line=line,
+                        message=(
+                            f"{fn_name}() parameter {param!r} is missing from "
+                            f"{key_fn.__name__}(): points differing only in it "
+                            "would alias onto one in-process cache slot"
+                        ),
+                        hint=(
+                            "thread the parameter through the cache key, or add "
+                            "it to EXECUTION_PARAMS with a justification if it "
+                            "cannot affect results"
+                        ),
+                    )
+                )
+            if meta_params is not None and param not in meta_params:
+                findings.append(
+                    Finding(
+                        rule="CACHE002",
+                        path=path,
+                        line=line,
+                        message=(
+                            f"{fn_name}() parameter {param!r} is missing from "
+                            f"{meta_fn.__name__}(): stored rows could not be "
+                            "filtered or exported by it"
+                        ),
+                        hint="thread the parameter through the store meta",
+                    )
+                )
+    return findings
+
+
+def hashed_field_fingerprint(
+    config_classes: Sequence[type] = CONFIG_CLASSES,
+    key_fn: Callable[..., tuple] = sweep_mod._cache_key,
+    meta_fn: Callable[..., dict] = sweep_mod._store_meta,
+) -> str:
+    """Stable fingerprint of the hashed-field set (classes + key params)."""
+    payload = {
+        "config_fields": {
+            cls.__name__: sorted(f.name for f in dataclasses.fields(cls))
+            for cls in config_classes
+        },
+        "cache_key_params": list(inspect.signature(key_fn).parameters),
+        "store_meta_params": list(inspect.signature(meta_fn).parameters),
+    }
+    return store_mod.stable_hash(payload)
+
+
+def write_schema_fingerprint(path: Path = FINGERPRINT_FILE) -> dict[str, Any]:
+    """Regenerate the committed fingerprint for the current SCHEMA_VERSION."""
+    payload = {
+        "schema_version": store_mod.SCHEMA_VERSION,
+        "fingerprint": hashed_field_fingerprint(),
+        "comment": (
+            "Regenerate with 'repro-bbr check --update-schema-fingerprint' "
+            "after bumping SCHEMA_VERSION in repro/experiments/store.py."
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check_schema_fingerprint(
+    path: Path = FINGERPRINT_FILE,
+    schema_version: int | None = None,
+    fingerprint: str | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Flag hashed-field-set drift that lacks a ``SCHEMA_VERSION`` bump."""
+    schema_version = (
+        schema_version if schema_version is not None else store_mod.SCHEMA_VERSION
+    )
+    fingerprint = fingerprint if fingerprint is not None else hashed_field_fingerprint()
+    relpath = _relpath(str(path), root)
+    if not path.exists():
+        return [
+            Finding(
+                rule="CACHE004",
+                path=relpath,
+                line=1,
+                message="no committed schema fingerprint for the hashed-field set",
+                hint="run 'repro-bbr check --update-schema-fingerprint' and commit the file",
+            )
+        ]
+    recorded = json.loads(path.read_text())
+    if recorded.get("schema_version") != schema_version:
+        return [
+            Finding(
+                rule="CACHE004",
+                path=relpath,
+                line=1,
+                message=(
+                    f"SCHEMA_VERSION is {schema_version} but the committed "
+                    f"fingerprint records version {recorded.get('schema_version')}"
+                ),
+                hint=(
+                    "after bumping SCHEMA_VERSION, regenerate the fingerprint "
+                    "with 'repro-bbr check --update-schema-fingerprint'"
+                ),
+            )
+        ]
+    if recorded.get("fingerprint") != fingerprint:
+        return [
+            Finding(
+                rule="CACHE004",
+                path=relpath,
+                line=1,
+                message=(
+                    "the hashed-field set changed (config fields or cache-key "
+                    "parameters) without a SCHEMA_VERSION bump: stored results "
+                    "from the old schema would be served for new scenarios"
+                ),
+                hint=(
+                    "bump SCHEMA_VERSION in repro/experiments/store.py, then "
+                    "run 'repro-bbr check --update-schema-fingerprint'"
+                ),
+            )
+        ]
+    return []
+
+
+class CacheKeyChecker:
+    """Bundles the three cache-key checks behind the Checker interface."""
+
+    name = "cache-keys"
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        findings = check_scenario_key_coverage(root=context.root)
+        findings += check_axis_coverage(root=context.root)
+        findings += check_schema_fingerprint(root=context.root)
+        return findings

@@ -1,0 +1,133 @@
+"""Determinism checker: no wall-clock or ambient entropy in sim kernels.
+
+The fluid integrator, the packet emulator and the analysis layer must be
+bit-reproducible given a :class:`~repro.config.ScenarioConfig`: the stored
+campaign results are content-addressed by the scenario alone, so a kernel
+that consults the wall clock or an unseeded RNG silently corrupts every
+cached point it contributes to.
+
+Rules:
+
+* ``DET001`` — a call to a wall-clock/process-time source (``time.time``,
+  ``time.perf_counter``, ``datetime.now``, ...) inside the kernel dirs.
+  Timing belongs in benchmarks, never in simulation state.
+* ``DET002`` — a call to a module-level ``random.*`` function or anything
+  under ``numpy.random``: ambient global-state randomness.  All randomness
+  must flow through ``derive_rng(seed, stream)``.
+* ``DET003`` — construction of a ``random.Random``/``SystemRandom``
+  instance outside ``derive_rng`` itself: ad-hoc generators bypass the
+  (seed, stream-label) hashing that keeps multi-seed replicas uncorrelated.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Checker, SourceFile
+from .findings import Finding
+
+#: Directories whose code must be deterministic (the simulation kernels).
+KERNEL_DIRS = ("src/repro/core", "src/repro/emulation", "src/repro/analysis")
+
+#: Wall-clock / process-time sources (resolved dotted names).
+CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Module-level functions of :mod:`random` (ambient global-state RNG).
+RANDOM_MODULE_FUNCS = {
+    "seed", "random", "uniform", "randint", "randrange", "getrandbits",
+    "choice", "choices", "shuffle", "sample", "triangular", "betavariate",
+    "binomialvariate", "expovariate", "gammavariate", "gauss",
+    "lognormvariate", "normalvariate", "paretovariate", "vonmisesvariate",
+    "weibullvariate", "randbytes",
+}
+
+#: RNG constructors that must only appear inside ``derive_rng``.
+RNG_CONSTRUCTORS = {"random.Random", "random.SystemRandom"}
+
+#: Functions allowed to construct generators (the single blessed factory).
+RNG_FACTORY_FUNCS = {"derive_rng"}
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    scope = KERNEL_DIRS
+
+    def check_file(self, src: SourceFile) -> list[Finding]:
+        resolver = self.imports_of(src)
+        findings: list[Finding] = []
+        # Map call nodes to their enclosing function names so the blessed
+        # RNG factory can construct generators without tripping DET003.
+        enclosing: dict[int, str] = {}
+        for func in ast.walk(src.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(func):
+                    if isinstance(inner, ast.Call):
+                        enclosing.setdefault(id(inner), func.name)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolver.resolve(node.func)
+            if dotted is None:
+                continue
+            if dotted in CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "DET001",
+                        f"wall-clock call {dotted}() inside a simulation kernel",
+                        hint=(
+                            "simulation state must depend only on the scenario "
+                            "config; measure timing in benchmarks/ instead"
+                        ),
+                    )
+                )
+            elif dotted.startswith("numpy.random.") or dotted == "numpy.random":
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "DET002",
+                        f"numpy global RNG call {dotted}() inside a simulation kernel",
+                        hint="derive randomness via derive_rng(seed, stream) instead",
+                    )
+                )
+            elif dotted.startswith("random.") and dotted.split(".", 1)[1] in RANDOM_MODULE_FUNCS:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "DET002",
+                        f"module-level {dotted}() uses the ambient global RNG",
+                        hint="derive randomness via derive_rng(seed, stream) instead",
+                    )
+                )
+            elif dotted in RNG_CONSTRUCTORS:
+                if enclosing.get(id(node)) in RNG_FACTORY_FUNCS:
+                    continue
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "DET003",
+                        f"ad-hoc RNG construction {dotted}(...) outside derive_rng",
+                        hint=(
+                            "inject a generator from derive_rng(seed, stream) so "
+                            "every (seed, entity) pair gets a collision-free stream"
+                        ),
+                    )
+                )
+        return findings

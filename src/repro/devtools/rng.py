@@ -1,0 +1,205 @@
+"""RNG-stream hygiene: ``derive_rng`` labels must be literal and non-colliding.
+
+``derive_rng(seed, stream)`` hashes the (scenario seed, stream label) pair
+into an independent generator.  That guarantee holds only if
+
+* the label is a *literal* at the call site (a string constant or an
+  f-string), so the set of streams is statically auditable, and
+* distinct call sites use labels that cannot collide — i.e. each site owns
+  a unique literal prefix ("flow:", "link:", ...), and
+* neither argument folds the seed in by integer arithmetic.  The pre-PR-3
+  derivation ``seed + 17 * (i + 1)`` aliased (seed 1, flow 1) with
+  (seed 18, flow 0), silently correlating multi-seed replicas — exactly
+  the bug class this rule machine-checks.
+
+Rules:
+
+* ``RNG001`` — the stream label is not a string literal / f-string.
+* ``RNG002`` — colliding labels: an f-string label without a literal
+  prefix, or two distinct call sites whose prefixes overlap (equal, or one
+  a prefix of the other), so two (seed, entity) pairs could hash alike.
+* ``RNG003`` — the seed (or a label placeholder) is built by arithmetic
+  involving the seed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Checker, CheckContext, SourceFile
+from .findings import Finding
+
+#: The blessed RNG-factory function name.
+FACTORY = "derive_rng"
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _stream_arg(node: ast.Call) -> ast.expr | None:
+    if len(node.args) >= 2:
+        return node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "stream":
+            return kw.value
+    return None
+
+
+def _seed_arg(node: ast.Call) -> ast.expr | None:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "seed":
+            return kw.value
+    return None
+
+
+def _mentions_seed(node: ast.expr) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and "seed" in sub.id.lower()
+        for sub in ast.walk(node)
+    )
+
+
+def _has_seed_arithmetic(node: ast.expr) -> bool:
+    """True if the expression computes arithmetic on something seed-like."""
+    return any(
+        isinstance(sub, ast.BinOp) and _mentions_seed(sub)
+        for sub in ast.walk(node)
+    )
+
+
+def _label_prefix(node: ast.expr) -> str | None:
+    """The literal prefix of a stream label, or None if non-literal.
+
+    A plain string constant is its own prefix; an f-string's prefix is the
+    literal text before the first placeholder ("" when it starts with one).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                break
+        return prefix
+    return None
+
+
+class RngStreamChecker(Checker):
+    name = "rng-streams"
+    scope = ("src",)
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        findings: list[Finding] = []
+        # (prefix, is_fstring) per call site, for the cross-file collision check.
+        sites: list[tuple[str, bool, SourceFile, ast.Call]] = []
+        for src in context.iter_sources(self.scope):
+            for node in ast.walk(src.tree):
+                if not isinstance(node, ast.Call) or _call_name(node) != FACTORY:
+                    continue
+                seed = _seed_arg(node)
+                stream = _stream_arg(node)
+                if seed is not None and _has_seed_arithmetic(seed):
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            "RNG003",
+                            "seed argument of derive_rng is built by arithmetic "
+                            "on the seed",
+                            hint=(
+                                "pass the scenario seed verbatim; encode the "
+                                "entity in the stream label instead (the pre-PR-3 "
+                                "'seed + 17*(i+1)' derivation aliased streams "
+                                "across seeds)"
+                            ),
+                        )
+                    )
+                if stream is None:
+                    continue
+                if _has_seed_arithmetic(stream):
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            "RNG003",
+                            "stream label of derive_rng embeds arithmetic on the "
+                            "seed",
+                            hint="the label must identify the entity, not re-mix the seed",
+                        )
+                    )
+                prefix = _label_prefix(stream)
+                if prefix is None:
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            "RNG001",
+                            "stream label of derive_rng is not a literal string "
+                            "or f-string",
+                            hint=(
+                                "use a literal label (e.g. f\"flow:{i}\") so the "
+                                "set of RNG streams is statically auditable"
+                            ),
+                        )
+                    )
+                    continue
+                is_fstring = isinstance(stream, ast.JoinedStr)
+                if is_fstring and not prefix:
+                    findings.append(
+                        self.finding(
+                            src,
+                            node,
+                            "RNG002",
+                            "f-string stream label lacks a literal prefix",
+                            hint=(
+                                "start the label with a unique literal namespace "
+                                "(e.g. f\"flow:{i}\") so call sites cannot collide"
+                            ),
+                        )
+                    )
+                    continue
+                sites.append((prefix, is_fstring, src, node))
+        findings.extend(self._collisions(sites))
+        return findings
+
+    def _collisions(
+        self, sites: list[tuple[str, bool, SourceFile, ast.Call]]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for i, (prefix_a, fstr_a, src_a, node_a) in enumerate(sites):
+            for prefix_b, fstr_b, src_b, node_b in sites[i + 1 :]:
+                # Two templated sites collide when either prefix extends the
+                # other; a templated site also collides with a plain literal
+                # it prefixes (f"flow:{i}" vs "flow:0").  Two distinct plain
+                # literals never collide unless equal.
+                if fstr_a or fstr_b:
+                    clash = prefix_a.startswith(prefix_b) or prefix_b.startswith(prefix_a)
+                else:
+                    clash = prefix_a == prefix_b
+                if not clash:
+                    continue
+                findings.append(
+                    self.finding(
+                        src_b,
+                        node_b,
+                        "RNG002",
+                        f"stream-label prefix {prefix_b!r} can collide with "
+                        f"{prefix_a!r} ({src_a.relpath}:{node_a.lineno})",
+                        hint=(
+                            "give every derive_rng call site its own literal "
+                            "prefix so (seed, entity) pairs map to distinct "
+                            "streams"
+                        ),
+                    )
+                )
+        return findings

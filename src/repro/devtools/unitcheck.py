@@ -1,0 +1,189 @@
+"""Units discipline: the ``_s``/``_mbps``/``_packets``/``_bdp`` conventions.
+
+The whole library works in packet units (:mod:`repro.units`): rates in
+packets/s or Mbps, volumes in packets, time in seconds, buffers in BDP
+multiples.  The convention that keeps the two substrates comparable is that
+every unit-bearing name *says* its unit as a suffix.  This checker enforces
+it at the config-layer surface — function signatures and dataclass fields
+of ``config.py``, ``topology.py`` and ``experiments/scenarios.py`` — and
+flags arithmetic that mixes differently-suffixed names.
+
+Rules:
+
+* ``UNIT001`` — a signature parameter / dataclass field whose name carries
+  a unit-bearing stem (``delay``, ``capacity``, ``duration``, ``rtt``, ...)
+  but no canonical unit suffix.
+* ``UNIT002`` — addition/subtraction/comparison between two names with
+  *different* canonical unit suffixes (seconds + Mbps never type-checks in
+  the physical sense; multiplication/division legitimately changes units
+  and is not flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .base import Checker, SourceFile
+from .findings import Finding
+
+#: Files whose public surface must follow the suffix conventions.
+UNIT_SCOPE = (
+    "src/repro/config.py",
+    "src/repro/topology.py",
+    "src/repro/experiments/scenarios.py",
+)
+
+#: Canonical unit suffixes (from repro/units.py) and the dimension each
+#: one denotes.  ``_pkts`` and ``_packets`` are the same dimension.
+UNIT_SUFFIXES: dict[str, str] = {
+    "_s": "seconds",
+    "_ms": "milliseconds",
+    "_bps": "bits/s",
+    "_mbps": "Mbps",
+    "_pps": "packets/s",
+    "_packets": "packets",
+    "_pkts": "packets",
+    "_bdp": "BDP multiples",
+    "_bytes": "bytes",
+    "_mbit": "megabits",
+}
+
+#: Name stems that imply a physical unit and therefore demand a suffix.
+UNIT_STEMS = (
+    "delay",
+    "rtt",
+    "duration",
+    "interval",
+    "capacit",  # capacity/capacities
+    "bandwidth",
+    "timeout",
+    "latency",
+    "throughput",
+    "goodput",
+)
+
+#: Names exempted despite carrying a stem (documented conventions).
+STEM_EXEMPT = {
+    # "dt" is the integrator's classic symbol for the step in seconds; the
+    # fluid-model equations read better with the textbook name.
+    "dt",
+}
+
+
+def _suffix_of(name: str) -> str | None:
+    """The canonical unit suffix of a name, or None."""
+    for suffix in sorted(UNIT_SUFFIXES, key=len, reverse=True):
+        if name.endswith(suffix):
+            return suffix
+    return None
+
+
+def _needs_suffix(name: str) -> bool:
+    if name in STEM_EXEMPT or _suffix_of(name) is not None:
+        return False
+    return any(stem in name for stem in UNIT_STEMS)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier a Name/Attribute/simple-Call expression denotes."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        # A call like ``path_delay_s(i)`` carries its unit in the callee name.
+        return _terminal_name(node.func)
+    return None
+
+
+def _is_bool_annotation(annotation: ast.expr | None) -> bool:
+    return isinstance(annotation, ast.Name) and annotation.id == "bool"
+
+
+def _annotated_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.arg]:
+    args = fn.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg in ("self", "cls"):
+            continue
+        # Boolean flags (e.g. ``short_rtt``) select a variant; they do not
+        # carry a physical quantity, so the suffix rule does not apply.
+        if _is_bool_annotation(arg.annotation):
+            continue
+        yield arg
+
+
+class UnitsChecker(Checker):
+    name = "units"
+    scope = UNIT_SCOPE
+
+    def check_file(self, src: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in _annotated_params(node):
+                    if _needs_suffix(arg.arg):
+                        findings.append(
+                            self.finding(
+                                src,
+                                arg,
+                                "UNIT001",
+                                f"parameter {arg.arg!r} of {node.name}() carries "
+                                "a unit-bearing name without a unit suffix",
+                                hint=(
+                                    "suffix the name with its unit "
+                                    "(_s/_mbps/_pps/_packets/_bdp, see "
+                                    "repro/units.py) or allowlist it with a "
+                                    "justification"
+                                ),
+                            )
+                        )
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and _needs_suffix(stmt.target.id)
+                    ):
+                        findings.append(
+                            self.finding(
+                                src,
+                                stmt,
+                                "UNIT001",
+                                f"field {stmt.target.id!r} of {node.name} "
+                                "carries a unit-bearing name without a unit "
+                                "suffix",
+                                hint="suffix the field with its unit (see repro/units.py)",
+                            )
+                        )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                findings.extend(self._mixed_units(src, node, node.left, node.right))
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                findings.extend(
+                    self._mixed_units(src, node, node.left, node.comparators[0])
+                )
+        return findings
+
+    def _mixed_units(
+        self, src: SourceFile, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> list[Finding]:
+        name_l, name_r = _terminal_name(left), _terminal_name(right)
+        if name_l is None or name_r is None:
+            return []
+        suffix_l, suffix_r = _suffix_of(name_l), _suffix_of(name_r)
+        if suffix_l is None or suffix_r is None:
+            return []
+        if UNIT_SUFFIXES[suffix_l] == UNIT_SUFFIXES[suffix_r]:
+            return []
+        return [
+            self.finding(
+                src,
+                node,
+                "UNIT002",
+                f"arithmetic mixes units: {name_l!r} ({UNIT_SUFFIXES[suffix_l]}) "
+                f"vs {name_r!r} ({UNIT_SUFFIXES[suffix_r]})",
+                hint="convert one operand via repro.units before combining",
+            )
+        ]

@@ -239,9 +239,8 @@ class Bbr2Packet(PacketCCA):
                 cwnd = min(cwnd, (1.0 - HEADROOM) * self.inflight_hi)
             if self.state == "cruise" and self.inflight_lo is not None:
                 cwnd = min(cwnd, self.inflight_lo)
-        elif self.state in ("refill", "up"):
-            if self.inflight_hi is not None:
-                cwnd = min(cwnd, PROBE_GAIN * max(self.inflight_hi, bdp))
+        elif self.state in ("refill", "up") and self.inflight_hi is not None:
+            cwnd = min(cwnd, PROBE_GAIN * max(self.inflight_hi, bdp))
         self.cwnd_pkts = max(MIN_CWND_PKTS, cwnd)
 
     # ------------------------------------------------------------------ #
@@ -269,9 +268,12 @@ class Bbr2Packet(PacketCCA):
                 self.inflight_hi = max(MIN_CWND_PKTS, (1.0 - BETA) * reference)
                 self._hi_cut_this_probe = True
             self.state = "down"
-        elif self.state == "startup":
-            if self.inflight_hi is None and self._round_loss_rate() > LOSS_THRESHOLD:
-                self.inflight_hi = float(event.inflight)
+        elif (
+            self.state == "startup"
+            and self.inflight_hi is None
+            and self._round_loss_rate() > LOSS_THRESHOLD
+        ):
+            self.inflight_hi = float(event.inflight)
         self._set_controls()
 
     def on_timeout(self, now: float) -> None:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from collections.abc import Callable
 
 from .cca.base import AckSample, LossEvent, PacketCCA
 from .packet import Packet
@@ -164,7 +164,7 @@ class ClosureSender:
         events: ClosureEventQueue,
         flow_id: int,
         cca: PacketCCA,
-        bottleneck: "ClosureBottleneckLink",
+        bottleneck: ClosureBottleneckLink,
         access_delay_s: float,
         return_delay_s: float,
         mss_bytes: int,

@@ -31,7 +31,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 # A heap entry is a 4-element list ``[time, tie_break, callback, owner]``.
 # ``callback=None`` marks a tombstoned (cancelled or rescheduled) entry;
@@ -68,7 +68,7 @@ class EventQueue:
             raise ValueError("cannot schedule events in the past")
         heapq.heappush(self._heap, [time, next(self._counter), callback, None])
 
-    def timer(self, callback: Callable[[], None]) -> "Timer":
+    def timer(self, callback: Callable[[], None]) -> Timer:
         """Create a reusable :class:`Timer` bound to ``callback``."""
         return Timer(self, callback)
 

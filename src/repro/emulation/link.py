@@ -33,7 +33,7 @@ acknowledgement (a batched return delay-line pop).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 from .events import DelayLine, EventQueue
 from .packet import Packet

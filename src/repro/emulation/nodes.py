@@ -21,7 +21,7 @@ per-packet-lambda implementation survives as
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 from .cca.base import LossEvent, PacketCCA
 from .events import DelayLine, EventQueue, Timer

@@ -333,7 +333,7 @@ class EmulationRunner:
             )
         queue_buf, loss_buf, arrival_buf, departure_buf = self._link_buffers
         links = []
-        for j, (link_cfg, link) in enumerate(zip(self.topology.links, self.links)):
+        for j, (link_cfg, link) in enumerate(zip(self.topology.links, self.links, strict=True)):
             links.append(
                 LinkTrace(
                     name=link_cfg.name,

@@ -20,7 +20,8 @@ Figure index (cf. DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 import numpy as np
 

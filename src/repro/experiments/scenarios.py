@@ -19,7 +19,7 @@ lists as future work, on both substrates.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from .. import topology as topology_builders
 from ..config import (
@@ -128,8 +128,8 @@ def aggregate_scenario(
         raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
     ccas = CCA_MIXES[mix]
     bottleneck_delay = 0.005 if short_rtt else 0.010
-    rtt_range = (0.010, 0.020) if short_rtt else (0.030, 0.040)
-    mean_rtt = sum(rtt_range) / 2.0
+    rtt_range_s = (0.010, 0.020) if short_rtt else (0.030, 0.040)
+    mean_rtt = sum(rtt_range_s) / 2.0
     fair_share_pkts = 100.0e6 / (1500 * 8) * mean_rtt / len(ccas)
     fluid = FluidParams(
         dt=dt,
@@ -140,7 +140,7 @@ def aggregate_scenario(
         ccas,
         capacity_mbps=100.0,
         bottleneck_delay_s=bottleneck_delay,
-        rtt_range_s=rtt_range,
+        rtt_range_s=rtt_range_s,
         buffer_bdp=buffer_bdp,
         discipline=discipline,
         duration_s=duration_s,
@@ -156,13 +156,13 @@ TOPOLOGY_PRESETS = topology_builders.TOPOLOGY_PRESETS
 
 def _sweep_fluid(
     num_flows: int,
-    rtt_range: tuple[float, float],
+    rtt_range_s: tuple[float, float],
     dt: float,
     whi_init_bdp: float | None,
     capacity_mbps: float = 100.0,
 ) -> FluidParams:
     """Fluid numerics matching :func:`aggregate_scenario` (fair-share window)."""
-    mean_rtt = sum(rtt_range) / 2.0
+    mean_rtt = sum(rtt_range_s) / 2.0
     fair_share_pkts = capacity_mbps * 1e6 / (1500 * 8) * mean_rtt / num_flows
     return FluidParams(
         dt=dt,
@@ -228,7 +228,9 @@ def parking_lot_scenario(
     flows = [
         FlowConfig(cca=cca, access_delay_s=delay)
         for cca, delay in zip(
-            long_ccas, spread_access_delays(len(long_ccas), rtt_range_s, path_delay)
+            long_ccas,
+            spread_access_delays(len(long_ccas), rtt_range_s, path_delay),
+            strict=True,
         )
     ]
     if cross_flows:
@@ -303,7 +305,7 @@ def multi_dumbbell_scenario(
         delays = spread_access_delays(len(group), rtt_range_s, delays_per[j])
         flows.extend(
             FlowConfig(cca=cca, access_delay_s=delay)
-            for cca, delay in zip(group, delays)
+            for cca, delay in zip(group, delays, strict=True)
         )
     if span_flows:
         # A spanning flow's propagation floor is the whole chain of

@@ -30,7 +30,8 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from ..config import ScenarioConfig
 from ..metrics.aggregate import AggregateMetrics
@@ -111,7 +112,7 @@ class SweepStore:
     def _load(self) -> None:
         if not self.path.exists():
             return
-        with self.path.open("r") as handle:
+        with self.path.open() as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.simulator import simulate, simulate_many
 from ..emulation.runner import emulate
@@ -669,7 +669,7 @@ def run_sweep(
                 )
                 for discipline, mix, buffer_bdp, seed in chunk
             ]
-            for task, trace in zip(chunk, simulate_many(configs)):
+            for task, trace in zip(chunk, simulate_many(configs), strict=True):
                 discipline, mix, buffer_bdp, seed = task
                 persist(
                     task,

@@ -135,7 +135,7 @@ class Trace:
             raise ValueError("trace has no link data")
         return min(self.links, key=lambda link: link.capacity_pps)
 
-    def after(self, t_start: float) -> "Trace":
+    def after(self, t_start: float) -> Trace:
         """Restrict the trace to ``time >= t_start`` (e.g. to drop a warm-up)."""
         mask = self.time >= t_start
         if not np.any(mask):

@@ -51,7 +51,7 @@ Modeling notes shared by both substrates:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from .config import LinkConfig, TopologyConfig
 

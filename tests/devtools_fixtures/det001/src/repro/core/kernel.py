@@ -1,0 +1,10 @@
+"""Fixture: DET001 — wall-clock call inside a simulation kernel."""
+
+import time
+from datetime import datetime
+
+
+def step(state: float) -> float:
+    started = time.time()  # DET001
+    stamp = datetime.now()  # DET001
+    return state + started + stamp.timestamp()

@@ -1,0 +1,13 @@
+"""Fixture: DET002 — ambient global-state randomness inside a kernel."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # DET002: module-level random
+
+
+def noise() -> float:
+    return np.random.uniform(0.0, 1.0)  # DET002: numpy global RNG

@@ -1,0 +1,13 @@
+"""Fixture: DET003 — ad-hoc RNG construction outside derive_rng."""
+
+import hashlib
+import random
+
+
+def derive_rng(seed: int, stream: str) -> random.Random:
+    digest = hashlib.sha256(f"fixture:{seed}:{stream}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))  # blessed site
+
+
+def make_generator(seed: int) -> random.Random:
+    return random.Random(seed)  # DET003: bypasses derive_rng

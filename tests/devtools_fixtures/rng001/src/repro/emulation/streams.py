@@ -1,0 +1,9 @@
+"""Fixture: RNG001 — non-literal derive_rng stream label."""
+
+
+def setup(seed: int, label: str):
+    return derive_rng(seed, label)  # RNG001: label is a variable
+
+
+def derive_rng(seed: int, stream: str):  # stub so the file parses standalone
+    raise NotImplementedError

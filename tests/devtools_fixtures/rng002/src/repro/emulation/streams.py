@@ -1,0 +1,21 @@
+"""Fixture: RNG002 — colliding derive_rng stream-label prefixes.
+
+``f"flow:{i}"`` and ``f"flow:cross:{j}"`` share the ``flow:`` namespace:
+(i="cross:0") and (j=0) hash to the same stream.
+"""
+
+
+def flows(seed: int, i: int):
+    return derive_rng(seed, f"flow:{i}")
+
+
+def cross_flows(seed: int, j: int):
+    return derive_rng(seed, f"flow:cross:{j}")  # RNG002: prefix collision
+
+
+def anonymous(seed: int, i: int):
+    return derive_rng(seed, f"{i}")  # RNG002: no literal prefix at all
+
+
+def derive_rng(seed: int, stream: str):  # stub so the file parses standalone
+    raise NotImplementedError

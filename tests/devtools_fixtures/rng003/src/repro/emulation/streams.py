@@ -1,0 +1,10 @@
+"""Fixture: RNG003 — integer arithmetic folds the seed (PR-3 aliasing bug)."""
+
+
+def per_flow(seed: int, i: int):
+    # (seed=1, i=1) aliases (seed=18, i=0): exactly the pre-PR-3 derivation.
+    return derive_rng(seed + 17 * (i + 1), "flow")  # RNG003
+
+
+def derive_rng(seed: int, stream: str):  # stub so the file parses standalone
+    raise NotImplementedError

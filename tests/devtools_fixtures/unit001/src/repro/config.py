@@ -1,0 +1,12 @@
+"""Fixture: UNIT001 — unit-bearing names without unit suffixes."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureLink:
+    capacity: float = 100.0  # UNIT001: field lacks _mbps/_pps suffix
+
+
+def build(delay: float, buffer_bdp: float = 1.0) -> FixtureLink:  # UNIT001: delay
+    return FixtureLink()

@@ -1,0 +1,9 @@
+"""Fixture: UNIT002 — arithmetic mixing differently-suffixed units."""
+
+
+def total(delay_s: float, capacity_mbps: float) -> float:
+    return delay_s + capacity_mbps  # UNIT002: seconds + Mbps
+
+
+def compare(duration_s: float, budget_packets: int) -> bool:
+    return duration_s > budget_packets  # UNIT002: seconds vs packets

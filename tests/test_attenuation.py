@@ -58,12 +58,12 @@ def heavy_loss_lot(duration_s: float = 2.0) -> ScenarioConfig:
 def trace_pairs_equal(a, b) -> None:
     """Assert two fluid traces are bit-identical."""
     assert np.array_equal(a.time, b.time)
-    for fa, fb in zip(a.flows, b.flows):
+    for fa, fb in zip(a.flows, b.flows, strict=True):
         assert np.array_equal(fa.rate, fb.rate)
         assert np.array_equal(fa.delivery_rate, fb.delivery_rate)
         assert np.array_equal(fa.cwnd, fb.cwnd)
         assert np.array_equal(fa.rtt, fb.rtt)
-    for la, lb in zip(a.links, b.links):
+    for la, lb in zip(a.links, b.links, strict=True):
         assert np.array_equal(la.queue, lb.queue)
         assert np.array_equal(la.loss_prob, lb.loss_prob)
         assert np.array_equal(la.arrival_rate, lb.arrival_rate)
@@ -124,13 +124,13 @@ class TestAttenuatedPipelines:
         config = heavy_loss_lot(duration_s=0.75)
         a = simulate(config)
         b = simulate(config, vectorized=False)
-        for fa, fb in zip(a.flows, b.flows):
+        for fa, fb in zip(a.flows, b.flows, strict=True):
             np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
             np.testing.assert_allclose(
                 fa.delivery_rate, fb.delivery_rate, rtol=1e-9, atol=1e-9
             )
             np.testing.assert_allclose(fa.rtt, fb.rtt, rtol=1e-9, atol=1e-9)
-        for la, lb in zip(a.links, b.links):
+        for la, lb in zip(a.links, b.links, strict=True):
             np.testing.assert_allclose(la.queue, lb.queue, rtol=1e-9, atol=1e-9)
             np.testing.assert_allclose(
                 la.arrival_rate, lb.arrival_rate, rtol=1e-9, atol=1e-9
@@ -144,10 +144,10 @@ class TestAttenuatedPipelines:
         deep = config.with_buffer(2.0)
         batched = simulate_many([config, deep])
         alone = [simulate(config), simulate(deep)]
-        for t_batch, t_alone in zip(batched, alone):
-            for fa, fb in zip(t_batch.flows, t_alone.flows):
+        for t_batch, t_alone in zip(batched, alone, strict=True):
+            for fa, fb in zip(t_batch.flows, t_alone.flows, strict=True):
                 np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
-            for la, lb in zip(t_batch.links, t_alone.links):
+            for la, lb in zip(t_batch.links, t_alone.links, strict=True):
                 np.testing.assert_allclose(la.queue, lb.queue, rtol=1e-9, atol=1e-9)
 
     def test_ragged_path_lengths_in_one_batch(self):
@@ -166,8 +166,8 @@ class TestAttenuatedPipelines:
         )
         batched = simulate_many([lot, md])
         alone = [simulate(lot), simulate(md)]
-        for t_batch, t_alone in zip(batched, alone):
-            for fa, fb in zip(t_batch.flows, t_alone.flows):
+        for t_batch, t_alone in zip(batched, alone, strict=True):
+            for fa, fb in zip(t_batch.flows, t_alone.flows, strict=True):
                 np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
                 np.testing.assert_allclose(
                     fa.delivery_rate, fb.delivery_rate, rtol=1e-9, atol=1e-9
@@ -214,7 +214,7 @@ class TestAttenuatedPipelines:
             for flow in trace.flows:
                 assert np.all(np.isfinite(flow.rate))
                 assert np.all(np.isfinite(flow.delivery_rate))
-        for fa, fb in zip(a.flows, b.flows):
+        for fa, fb in zip(a.flows, b.flows, strict=True):
             np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
 
     def test_downstream_arrival_capped_by_upstream_capacity(self):

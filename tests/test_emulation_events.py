@@ -308,7 +308,7 @@ class TestSchedulerEquivalence:
         config = dumbbell_scenario(["bbr1"] * 2, duration_s=2.0, seed=11)
         trace_old = EmulationRunner(config, scheduler="closure").run()
         trace_new = EmulationRunner(config, scheduler="delayline").run()
-        for old_flow, new_flow in zip(trace_old.flows, trace_new.flows):
+        for old_flow, new_flow in zip(trace_old.flows, trace_new.flows, strict=True):
             np.testing.assert_allclose(old_flow.rate, new_flow.rate)
             np.testing.assert_allclose(old_flow.delivery_rate, new_flow.delivery_rate)
         np.testing.assert_allclose(

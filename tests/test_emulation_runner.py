@@ -108,7 +108,7 @@ class TestRngDerivation:
         first, second = emulate(config), emulate(other)
         assert any(
             not np.allclose(a.rate, b.rate)
-            for a, b in zip(first.flows, second.flows)
+            for a, b in zip(first.flows, second.flows, strict=True)
         )
 
     def test_queue_and_flow_streams_are_separate(self):

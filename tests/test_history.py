@@ -105,7 +105,7 @@ class TestVectorHistory:
         indices = np.arange(3, dtype=np.intp)
         lags = history.lag_steps(delays)
         gathered = history.gather(indices, lags)
-        expected = [history.at_delay(i, d) for i, d in zip(indices, delays)]
+        expected = [history.at_delay(i, d) for i, d in zip(indices, delays, strict=True)]
         np.testing.assert_allclose(gathered, expected)
 
     def test_gather_clamps_to_recorded_history(self):
@@ -146,7 +146,7 @@ class TestVectorHistory:
         delays = np.linspace(0.0, 0.2, width)
         indices = np.arange(width, dtype=np.intp)
         gathered = history.gather(indices, history.lag_steps(delays))
-        expected = [history.at_delay(i, d) for i, d in zip(indices, delays)]
+        expected = [history.at_delay(i, d) for i, d in zip(indices, delays, strict=True)]
         np.testing.assert_allclose(gathered, expected)
 
     @given(

@@ -24,7 +24,7 @@ LINK_SERIES = ("queue", "loss_prob", "arrival_rate", "departure_rate")
 def assert_traces_match(a, b, rtol=1e-9, atol=1e-9):
     np.testing.assert_allclose(a.time, b.time, rtol=rtol, atol=atol)
     assert len(a.flows) == len(b.flows)
-    for fa, fb in zip(a.flows, b.flows):
+    for fa, fb in zip(a.flows, b.flows, strict=True):
         assert fa.cca == fb.cca
         for name in FLOW_SERIES:
             np.testing.assert_allclose(
@@ -38,7 +38,7 @@ def assert_traces_match(a, b, rtol=1e-9, atol=1e-9):
                 err_msg=f"extras {key!r} diverged",
             )
     assert len(a.links) == len(b.links)
-    for la, lb in zip(a.links, b.links):
+    for la, lb in zip(a.links, b.links, strict=True):
         for name in LINK_SERIES:
             np.testing.assert_allclose(
                 getattr(la, name), getattr(lb, name), rtol=rtol, atol=atol,
@@ -123,7 +123,7 @@ class TestSimulateMany:
         ]
         batched = simulate_many(configs)
         assert len(batched) == len(configs)
-        for config, trace in zip(configs, batched):
+        for config, trace in zip(configs, batched, strict=True):
             assert_traces_match(simulate(config), trace)
 
     def test_empty_and_single(self):

@@ -312,7 +312,7 @@ class TestOneHopEquivalence:
         wrapped = _wrap_one_hop(legacy)
         a = simulate(legacy, vectorized=vectorized)
         b = simulate(wrapped, vectorized=vectorized)
-        for fa, fb in zip(a.flows, b.flows):
+        for fa, fb in zip(a.flows, b.flows, strict=True):
             assert np.array_equal(fa.rate, fb.rate)
             assert np.array_equal(fa.delivery_rate, fb.delivery_rate)
             assert np.array_equal(fa.rtt, fb.rtt)
@@ -338,7 +338,7 @@ class TestOneHopEquivalence:
         assert ra.bottleneck.queue.enqueued == rb.bottleneck.queue.enqueued
         assert ra.bottleneck.queue.dropped == rb.bottleneck.queue.dropped
         assert ra.bottleneck.transmitted == rb.bottleneck.transmitted
-        for fa, fb in zip(ta.flows, tb.flows):
+        for fa, fb in zip(ta.flows, tb.flows, strict=True):
             assert np.array_equal(fa.rate, fb.rate)
         assert np.array_equal(ta.links[0].queue, tb.links[0].queue)
 
@@ -348,10 +348,10 @@ class TestFluidMultiHop:
         config = _parking_lot_config()
         a = simulate(config)
         b = simulate(config, vectorized=False)
-        for fa, fb in zip(a.flows, b.flows):
+        for fa, fb in zip(a.flows, b.flows, strict=True):
             np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
             np.testing.assert_allclose(fa.rtt, fb.rtt, rtol=1e-9, atol=1e-9)
-        for la, lb in zip(a.links, b.links):
+        for la, lb in zip(a.links, b.links, strict=True):
             np.testing.assert_allclose(la.queue, lb.queue, rtol=1e-9, atol=1e-9)
 
     def test_one_link_trace_per_hop(self):
@@ -373,9 +373,9 @@ class TestFluidMultiHop:
         deep = config.with_buffer(4.0)
         batched = simulate_many([config, deep])
         alone = [simulate(config), simulate(deep)]
-        for t_batch, t_alone in zip(batched, alone):
+        for t_batch, t_alone in zip(batched, alone, strict=True):
             assert len(t_batch.links) == 3
-            for fa, fb in zip(t_batch.flows, t_alone.flows):
+            for fa, fb in zip(t_batch.flows, t_alone.flows, strict=True):
                 np.testing.assert_allclose(fa.rate, fb.rate, rtol=1e-9, atol=1e-9)
 
 
@@ -397,9 +397,9 @@ class TestEmulatorMultiHop:
         config = _parking_lot_config(duration_s=1.0)
         a = emulate(config)
         b = emulate(config)
-        for fa, fb in zip(a.flows, b.flows):
+        for fa, fb in zip(a.flows, b.flows, strict=True):
             assert np.array_equal(fa.rate, fb.rate)
-        for la, lb in zip(a.links, b.links):
+        for la, lb in zip(a.links, b.links, strict=True):
             assert np.array_equal(la.queue, lb.queue)
 
     def test_per_link_red_rng_streams_differ(self):
