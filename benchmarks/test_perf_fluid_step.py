@@ -14,6 +14,11 @@ kept in-tree, bit-for-bit, as the ``vectorized=False`` reference):
   overhead bites hardest — stays at least 2x the scalar loop (tracked in
   the JSON for the trajectory).
 
+A second benchmark records the **churn scaling curve**: vectorized
+integrator throughput at 100/500/1000/2000 flows under a Poisson /
+bounded-Pareto flow schedule (active-flow masking on), so the cost of
+large time-varying populations is tracked release over release.
+
 All comparisons are apples-to-apples and all paths produce numerically
 identical traces (see ``tests/test_simulator_vectorized.py``); rate-trace
 equivalence is re-asserted here on the benchmarked runs.
@@ -29,12 +34,26 @@ import numpy as np
 
 from repro.config import FluidParams, dumbbell_scenario
 from repro.core import FluidSimulator, simulate_many
+from repro.experiments import scenarios
 
 from conftest import BENCH_DT, run_once
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_perf_fluid_step.json"
 
 BENCH_SECONDS = 0.5
+
+#: Flow populations of the churn scaling curve and its (short) horizon.
+SCALING_FLOWS = (100, 500, 1000, 2000)
+SCALING_SECONDS = 0.1
+
+
+def _merge_results(updates: dict) -> None:
+    """Merge one benchmark's section into the shared results file."""
+    results = {}
+    if RESULTS_PATH.exists():
+        results = json.loads(RESULTS_PATH.read_text())
+    results.update(updates)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
 
 def _mixed_ccas(num_flows: int) -> list[str]:
@@ -100,7 +119,7 @@ def test_perf_fluid_step(benchmark):
     batch_elapsed = time.perf_counter() - start
     batch_sps = _steps(paper_config) * len(batch_configs) / batch_elapsed
 
-    results = {
+    _merge_results({
         "dt": BENCH_DT,
         "duration_s": BENCH_SECONDS,
         "paper_population_20": {
@@ -119,8 +138,7 @@ def test_perf_fluid_step(benchmark):
             "speedup_vs_scalar": round(batch_sps / scalar_paper_sps, 2),
             "speedup_vs_vectorized": round(batch_sps / vector_paper_sps, 2),
         },
-    }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    })
 
     print("\nFluid-integrator throughput (flow-population steps/second):")
     print(
@@ -147,4 +165,58 @@ def test_perf_fluid_step(benchmark):
     assert vector_paper_sps >= 2.0 * scalar_paper_sps, (
         f"20-sender vectorized integrator regressed to "
         f"{vector_paper_sps / scalar_paper_sps:.2f}x the scalar loop"
+    )
+
+
+def test_perf_fluid_churn_scaling(benchmark):
+    """Vectorized integrator throughput vs. population size under churn."""
+
+    def _churn_config(num_flows: int):
+        return scenarios.churn_scenario(
+            "BBRv1/RENO",
+            num_flows=num_flows,
+            arrivals="poisson",
+            load=0.5,
+            size_dist="pareto",
+            duration_s=SCALING_SECONDS,
+            dt=BENCH_DT,
+            seed=1,
+        )
+
+    def _measure_population(num_flows: int) -> float:
+        config = _churn_config(num_flows)
+        simulator = FluidSimulator(config, vectorized=True)
+        start = time.perf_counter()
+        simulator.run()
+        elapsed = time.perf_counter() - start
+        return _steps(config) / elapsed
+
+    def _curve() -> dict[str, float]:
+        return {str(n): round(_measure_population(n)) for n in SCALING_FLOWS}
+
+    curve = run_once(benchmark, _curve)
+    _merge_results({
+        "churn_scaling": {
+            "dt": BENCH_DT,
+            "duration_s": SCALING_SECONDS,
+            "arrivals": "poisson",
+            "size_dist": "pareto",
+            "vectorized_steps_per_s_by_flows": curve,
+        },
+    })
+
+    print("\nFluid integrator churn scaling (vectorized steps/second):")
+    for n in SCALING_FLOWS:
+        print(f"  {n:5d} flows  {curve[str(n)]:8.0f} steps/s")
+
+    # Sanity floor, not a race: even the 2000-flow population must step.
+    assert all(sps > 0 for sps in curve.values())
+    # Throughput must degrade sub-linearly in the population (vectorized
+    # work is O(N) per step, so 20x the flows may not cost much more than
+    # ~20x the time; a superlinear blow-up indicates accidental per-flow
+    # Python work in the masked pipeline).
+    ratio = curve[str(SCALING_FLOWS[0])] / max(1.0, curve[str(SCALING_FLOWS[-1])])
+    assert ratio < 100.0, (
+        f"throughput fell {ratio:.0f}x from {SCALING_FLOWS[0]} to "
+        f"{SCALING_FLOWS[-1]} flows — superlinear scaling"
     )

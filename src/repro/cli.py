@@ -11,6 +11,8 @@ Examples::
     repro-bbr topology --preset parking-lot --hops 3 --hop-capacities 100,50,25
     repro-bbr sweep --topology parking-lot --hops 3 --mixes BBRv1
     repro-bbr sweep --topology parking-lot --hops 3 --hop-delays 0.002,0.02,0.002
+    repro-bbr sweep --arrivals poisson --flow-size-dist pareto --load 0.5 --flows 100
+    repro-bbr campaign --arrivals poisson --flows 1000 --seeds 3 --store churn.jsonl
     repro-bbr theorems
     repro-bbr check
     repro-bbr check --json
@@ -20,6 +22,15 @@ Examples::
 reports mean ± 95% CI per point; ``--store PATH`` (or the ``REPRO_STORE``
 environment variable) persists each completed point immediately, so an
 interrupted sweep or campaign resumes without recomputing finished points.
+
+``--arrivals`` switches every grid point from the paper's long-lived flows
+to a churn workload (time-varying flow population):
+``staggered``/``poisson``/``onoff`` arrivals, ``--flow-size-dist``
+``infinite``/``fixed``/``pareto`` flow sizes, ``--load`` offered load as a
+fraction of bottleneck capacity and ``--flows`` flows in the schedule.
+Churn runs additionally report flow-completion-time percentiles, the
+time-weighted Jain index over the *active* flow set and the mean number of
+concurrently active flows.
 
 ``topology`` runs one multi-bottleneck scenario (parking lot,
 multi-dumbbell, or a one-hop dumbbell) on one or both substrates and
@@ -46,6 +57,7 @@ from collections.abc import Sequence
 from pathlib import Path
 
 from . import units
+from .config import ARRIVAL_PROCESSES, SIZE_DISTRIBUTIONS
 from .core.simulator import simulate
 from .emulation.runner import emulate
 from .experiments import figures, report, scenarios, sweep
@@ -163,6 +175,36 @@ def _add_topology_axis_flags(parser: argparse.ArgumentParser) -> None:
     _add_hop_list_flags(parser)
 
 
+def _add_churn_axis_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arrivals",
+        choices=list(ARRIVAL_PROCESSES),
+        default=None,
+        help="switch every grid point to a churn workload with this arrival process",
+    )
+    parser.add_argument(
+        "--flow-size-dist",
+        choices=list(SIZE_DISTRIBUTIONS),
+        default=None,
+        help="flow-size distribution of the churn workload "
+        "(default: pareto; infinite for --arrivals onoff)",
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="offered load as a fraction of bottleneck capacity (default: 0.5)",
+    )
+    parser.add_argument(
+        "--flows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of flows in the churn schedule (default: 100)",
+    )
+
+
 def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser("sweep", help="run the aggregate-validation sweep")
     parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
@@ -174,6 +216,7 @@ def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser.add_argument("--csv", type=str, default=None, help="write results to this CSV file")
     _add_replication_flags(parser)
     _add_topology_axis_flags(parser)
+    _add_churn_axis_flags(parser)
 
 
 def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -213,6 +256,7 @@ def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
     )
     _add_replication_flags(parser)
     _add_topology_axis_flags(parser)
+    _add_churn_axis_flags(parser)
     parser.set_defaults(seeds=5)
 
 
@@ -382,6 +426,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
             hop_capacities=hop_capacities,
             hop_delays=hop_delays,
             hop_disciplines=hop_disciplines,
+            arrivals=args.arrivals,
+            flow_size_dist=args.flow_size_dist,
+            load=args.load,
+            flows=args.flows,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -486,6 +534,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
             hop_capacities=hop_capacities,
             hop_delays=hop_delays,
             hop_disciplines=hop_disciplines,
+            arrivals=args.arrivals,
+            flow_size_dist=args.flow_size_dist,
+            load=args.load,
+            flows=args.flows,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -503,6 +555,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
         path = report.write_csv(args.csv, rows)
         print(f"wrote {path}")
     if args.per_seed_csv:
+        arrivals, flow_size_dist, load, flows = sweep.normalize_churn_axis(
+            args.arrivals, args.flow_size_dist, args.load, args.flows
+        )
         # With hop_disciplines set, every point is labelled (and stored)
         # under the per-hop composite, not the swept discipline value.
         if hop_disciplines is not None:
@@ -524,12 +579,21 @@ def _run_campaign(args: argparse.Namespace) -> int:
             # (mix, buffer, discipline) coordinates, and a hops=3 campaign
             # must not export hops=4 rows from the same store file.
             topology = None if args.topology in (None, "dumbbell") else args.topology
+            # The churn axis is symmetric too: a long-lived-flow campaign
+            # (arrivals None, absent from meta) must not export churn rows
+            # sharing its (mix, buffer, discipline) coordinates, and a
+            # churn campaign only exports its exact workload.
             filters = dict(
                 substrate=args.substrate,
                 short_rtt=args.short_rtt,
                 duration_s=args.duration,
                 topology=topology,
+                arrivals=arrivals,
             )
+            if arrivals is not None:
+                filters["flow_size_dist"] = flow_size_dist
+                filters["load"] = load
+                filters["flows"] = flows
             if topology is not None:
                 filters["hops"] = args.hops
                 filters["cross_flows"] = args.cross_flows
@@ -568,6 +632,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
                     hop_capacities=hop_capacities,
                     hop_delays=hop_delays,
                     hop_disciplines=hop_disciplines,
+                    arrivals=arrivals,
+                    flow_size_dist=flow_size_dist,
+                    load=load,
+                    flows=flows,
                 ).row()
                 for discipline in export_disciplines
                 for mix in args.mixes

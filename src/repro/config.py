@@ -33,12 +33,19 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from . import units
+from .rng import derive_rng
 
 #: Queue disciplines supported by both the fluid model and the emulator.
 QUEUE_DISCIPLINES = ("droptail", "red")
 
 #: Congestion-control algorithms supported by both substrates.
 CCA_NAMES = ("reno", "cubic", "bbr1", "bbr2")
+
+#: Arrival processes supported by :class:`FlowSchedule`.
+ARRIVAL_PROCESSES = ("staggered", "poisson", "onoff")
+
+#: Flow-size distributions supported by :class:`FlowSchedule`.
+SIZE_DISTRIBUTIONS = ("infinite", "fixed", "pareto")
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,194 @@ class FlowConfig:
             raise ValueError("access delay must be non-negative")
         if self.start_time_s < 0:
             raise ValueError("start time must be non-negative")
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One materialised schedule entry: when a flow starts and how much it sends.
+
+    Produced by :meth:`FlowSchedule.materialize`; both substrates consume
+    exactly these entries, so the fluid model and the packet emulator run
+    the identical workload.
+
+    Attributes:
+        start_time_s: time at which the flow starts sending.
+        size_packets: finite flow size in packets (the flow completes and
+            departs once it has delivered this much), or ``None`` for a
+            long-lived flow that never completes.
+        stop_time_s: optional hard departure time (on/off sources switch
+            off here even if their size is unbounded).
+    """
+
+    start_time_s: float
+    size_packets: float | None = None
+    stop_time_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_time_s < 0:
+            raise ValueError("start time must be non-negative")
+        if self.size_packets is not None and self.size_packets < 1:
+            raise ValueError("flow size must be at least one packet")
+        if self.stop_time_s is not None and self.stop_time_s <= self.start_time_s:
+            raise ValueError("stop time must be after the start time")
+
+
+@dataclass(frozen=True)
+class FlowSchedule:
+    """A time-varying workload: flow arrival process and flow-size distribution.
+
+    Attached to a :class:`ScenarioConfig`, a schedule turns the static flow
+    population into a churning one: flows join mid-run according to the
+    arrival process and depart once they have delivered their (possibly
+    heavy-tailed) size.  :meth:`materialize` expands the schedule — via the
+    package's blessed :func:`~repro.rng.derive_rng` stream — into one
+    explicit :class:`FlowArrival` per configured flow, and both substrates
+    consume only that materialised list, so the fluid model and the packet
+    emulator see the identical workload.  Schedule start times override the
+    per-flow ``FlowConfig.start_time_s``.
+
+    Attributes:
+        arrivals: arrival process — ``"staggered"`` (deterministic, evenly
+            spaced starts), ``"poisson"`` (exponential inter-arrivals at
+            ``arrival_rate_per_s``) or ``"onoff"`` (deterministic on/off
+            sources: each source is on for ``on_time_s``, with the sources'
+            on-phases spread evenly over one on+off period).
+        arrival_spacing_s: inter-start gap of the staggered process.
+        arrival_rate_per_s: mean flow arrival rate of the Poisson process.
+        on_time_s: on-period length of the on/off process.
+        off_time_s: off-period length of the on/off process.
+        size_dist: flow-size distribution — ``"infinite"`` (long-lived
+            flows), ``"fixed"`` (every flow sends ``mean_size_packets``) or
+            ``"pareto"`` (bounded Pareto on ``[min_size_packets,
+            max_size_packets]`` with tail index ``pareto_shape``, the
+            heavy-tailed mice-and-elephants workload).
+        mean_size_packets: flow size of the ``"fixed"`` distribution.
+        pareto_shape: tail index ``alpha`` of the bounded Pareto.
+        min_size_packets: lower bound of the bounded Pareto.
+        max_size_packets: upper bound of the bounded Pareto.
+    """
+
+    arrivals: str = "staggered"
+    arrival_spacing_s: float = 0.0
+    arrival_rate_per_s: float | None = None
+    on_time_s: float | None = None
+    off_time_s: float | None = None
+    size_dist: str = "infinite"
+    mean_size_packets: float | None = None
+    pareto_shape: float = 1.5
+    min_size_packets: float = 10.0
+    max_size_packets: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrivals not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrivals!r}; "
+                f"expected one of {ARRIVAL_PROCESSES}"
+            )
+        if self.arrival_spacing_s < 0:
+            raise ValueError("arrival spacing must be non-negative")
+        if self.arrivals == "poisson":
+            if self.arrival_rate_per_s is None or self.arrival_rate_per_s <= 0:
+                raise ValueError("poisson arrivals need a positive arrival_rate_per_s")
+        if self.arrivals == "onoff":
+            if self.on_time_s is None or self.on_time_s <= 0:
+                raise ValueError("on/off sources need a positive on_time_s")
+            if self.off_time_s is None or self.off_time_s < 0:
+                raise ValueError("on/off sources need a non-negative off_time_s")
+        if self.size_dist not in SIZE_DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown size distribution {self.size_dist!r}; "
+                f"expected one of {SIZE_DISTRIBUTIONS}"
+            )
+        if self.size_dist == "fixed":
+            if self.mean_size_packets is None or self.mean_size_packets < 1:
+                raise ValueError("fixed sizes need mean_size_packets >= 1")
+        if self.size_dist == "pareto":
+            if self.pareto_shape <= 0:
+                raise ValueError("pareto shape must be positive")
+            if self.min_size_packets < 1:
+                raise ValueError("minimum flow size must be at least one packet")
+            if self.max_size_packets is None or (
+                self.max_size_packets <= self.min_size_packets
+            ):
+                raise ValueError(
+                    "bounded pareto needs max_size_packets > min_size_packets"
+                )
+
+    @property
+    def uses_seed(self) -> bool:
+        """Whether materialisation consumes the scenario seed (random draws)."""
+        return self.arrivals == "poisson" or self.size_dist == "pareto"
+
+    def mean_flow_size_packets(self) -> float:
+        """Mean of the flow-size distribution (for offered-load calculations)."""
+        if self.size_dist == "fixed":
+            assert self.mean_size_packets is not None
+            return self.mean_size_packets
+        if self.size_dist == "pareto":
+            assert self.max_size_packets is not None
+            low, high, shape = (
+                self.min_size_packets,
+                self.max_size_packets,
+                self.pareto_shape,
+            )
+            if shape == 1.0:
+                return high * low / (high - low) * math.log(high / low)
+            ratio = (low / high) ** shape
+            return (low**shape / (1.0 - ratio)) * (
+                shape / (shape - 1.0)
+            ) * (low ** (1.0 - shape) - high ** (1.0 - shape))
+        raise ValueError("infinite flows have no mean size")
+
+    def materialize(self, num_flows: int, seed: int) -> tuple[FlowArrival, ...]:
+        """Expand into one explicit :class:`FlowArrival` per flow.
+
+        Deterministic in ``(schedule, num_flows, seed)``: all random draws
+        come from the single ``derive_rng(seed, "schedule")`` stream, with a
+        fixed consumption order (all inter-arrival gaps in flow order, then
+        all sizes in flow order), so both substrates — and any process or
+        platform — materialise the identical workload.
+        """
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        rng = derive_rng(seed, "schedule") if self.uses_seed else None
+        starts: list[float]
+        stops: list[float | None]
+        if self.arrivals == "staggered":
+            starts = [i * self.arrival_spacing_s for i in range(num_flows)]
+            stops = [None] * num_flows
+        elif self.arrivals == "poisson":
+            assert rng is not None and self.arrival_rate_per_s is not None
+            starts = [0.0]
+            for _ in range(num_flows - 1):
+                starts.append(starts[-1] + rng.expovariate(self.arrival_rate_per_s))
+            stops = [None] * num_flows
+        else:  # onoff
+            assert self.on_time_s is not None and self.off_time_s is not None
+            period_s = self.on_time_s + self.off_time_s
+            starts = [i * period_s / num_flows for i in range(num_flows)]
+            stops = [start + self.on_time_s for start in starts]
+        sizes: list[float | None]
+        if self.size_dist == "infinite":
+            sizes = [None] * num_flows
+        elif self.size_dist == "fixed":
+            sizes = [self.mean_size_packets] * num_flows
+        else:  # bounded pareto (inverse-CDF transform)
+            assert rng is not None and self.max_size_packets is not None
+            low, high, shape = (
+                self.min_size_packets,
+                self.max_size_packets,
+                self.pareto_shape,
+            )
+            tail = 1.0 - (low / high) ** shape
+            sizes = [
+                low * (1.0 - rng.random() * tail) ** (-1.0 / shape)
+                for _ in range(num_flows)
+            ]
+        return tuple(
+            FlowArrival(start_time_s=start, size_packets=size, stop_time_s=stop)
+            for start, size, stop in zip(starts, sizes, stops, strict=True)
+        )
 
 
 @dataclass(frozen=True)
@@ -269,10 +464,17 @@ class ScenarioConfig:
         flows: per-sender configurations.
         duration_s: simulated time.
         fluid: numerical parameters for the fluid-model substrate.
-        seed: seed for any randomness in the packet-level emulator.
+        seed: seed for any randomness in the packet-level emulator and for
+            the materialisation of a stochastic flow schedule.
         topology: optional explicit :class:`TopologyConfig`; its ``paths``
             must list one link path per flow.  ``None`` means the implicit
             one-hop dumbbell over ``bottleneck``.
+        schedule: optional :class:`FlowSchedule` turning the static flow
+            population into a churning one (arrivals, finite sizes, on/off
+            sources).  ``None`` — the default — keeps the legacy behaviour:
+            every flow starts at its ``FlowConfig.start_time_s`` and never
+            departs.  When set, the materialised schedule's start times
+            override the per-flow ``start_time_s``.
     """
 
     bottleneck: LinkConfig | None
@@ -281,6 +483,7 @@ class ScenarioConfig:
     fluid: FluidParams = field(default_factory=FluidParams)
     seed: int = 1
     topology: TopologyConfig | None = None
+    schedule: FlowSchedule | None = None
 
     def __post_init__(self) -> None:
         if not self.flows:
@@ -306,6 +509,17 @@ class ScenarioConfig:
     @property
     def num_flows(self) -> int:
         return len(self.flows)
+
+    def flow_schedule(self) -> tuple[FlowArrival, ...] | None:
+        """The materialised flow schedule, or ``None`` for a static population.
+
+        Both substrates consume only this: identical :class:`FlowArrival`
+        entries drive the fluid model's active-flow masks and the packet
+        emulator's sender activation/teardown events.
+        """
+        if self.schedule is None:
+            return None
+        return self.schedule.materialize(self.num_flows, self.seed)
 
     def effective_topology(self) -> TopologyConfig:
         """The explicit topology, or the one-hop wrapper over ``bottleneck``.

@@ -75,7 +75,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..config import ScenarioConfig
+from ..config import FlowArrival, ScenarioConfig
 from ..metrics.traces import FlowTrace, LinkTrace, Trace
 from . import queues
 from .flow import FlowInputs, FlowInputsBatch, FluidCCA
@@ -106,10 +106,26 @@ class FluidSimulator:
         network: Network | None = None,
         initial_states: list | None = None,
         attenuate_arrivals: bool = True,
+        schedule_entries: Sequence[FlowArrival] | None = None,
     ) -> None:
         if record_interval_s < config.fluid.dt:
             raise ValueError("record interval must be at least one integration step")
         self.config = config
+        # ``schedule_entries`` lets :func:`simulate_many` hand over the
+        # concatenated per-scenario schedules of a merged batch; a plain run
+        # materialises its own config's schedule (or ``None`` for the
+        # legacy static population).
+        if schedule_entries is not None:
+            self._schedule_entries: tuple[FlowArrival, ...] | None = tuple(
+                schedule_entries
+            )
+        else:
+            self._schedule_entries = config.flow_schedule()
+        if (
+            self._schedule_entries is not None
+            and len(self._schedule_entries) != len(config.flows)
+        ):
+            raise ValueError("schedule entries must match the flow count")
         self.network = network if network is not None else Network.from_scenario(config)
         self.dt = config.fluid.dt
         self.record_interval_s = record_interval_s
@@ -129,6 +145,54 @@ class FluidSimulator:
                 self.models[i] = models[i]
             else:
                 self.models[i] = create_model(flow_cfg.cca, config.fluid)
+
+    def _flow_lifetimes(self):
+        """Per-flow start/stop/size arrays and whether any flow can depart.
+
+        Returns ``(start_times, stop_times, flow_sizes, churn)``.  Without a
+        schedule — or with a schedule of long-lived flows only — ``churn``
+        is False and the pipelines keep the legacy start-only masking
+        (bit-identical with the pre-schedule integrator).
+        """
+        entries = self._schedule_entries
+        if entries is None:
+            start_times = np.array(
+                [f.start_time_s for f in self.config.flows], dtype=float
+            )
+            return start_times, None, None, False
+        start_times = np.array([e.start_time_s for e in entries], dtype=float)
+        stop_times = np.array(
+            [math.inf if e.stop_time_s is None else e.stop_time_s for e in entries],
+            dtype=float,
+        )
+        flow_sizes = np.array(
+            [math.inf if e.size_packets is None else e.size_packets for e in entries],
+            dtype=float,
+        )
+        churn = bool(np.any(np.isfinite(stop_times)) or np.any(np.isfinite(flow_sizes)))
+        return start_times, stop_times, flow_sizes, churn
+
+    @staticmethod
+    def _flow_end_list(
+        churn: bool,
+        num_flows: int,
+        duration_s: float,
+        completed,
+        end_times,
+        stop_times,
+    ) -> list[float | None]:
+        """Per-flow departure times for the trace (``None`` = never departed)."""
+        if not churn:
+            return [None] * num_flows
+        ends: list[float | None] = []
+        for i in range(num_flows):
+            if completed[i]:
+                ends.append(float(end_times[i]))
+            elif stop_times[i] <= duration_s:
+                ends.append(float(stop_times[i]))
+            else:
+                ends.append(None)
+        return ends
 
     def _make_states(self) -> list:
         if self._initial_states is not None:
@@ -170,8 +234,17 @@ class FluidSimulator:
         backward_delay = np.array(
             [net.backward_delay(i, bottleneck_of[i]) for i in range(num_flows)]
         )
-        start_times = np.array([f.start_time_s for f in cfg.flows], dtype=float)
+        start_times, stop_times, flow_sizes, churn = self._flow_lifetimes()
         max_start = float(np.max(start_times))
+        if churn:
+            # Active-flow masking state: cumulative delivered volume drives
+            # finite-size completion; completed (or stopped) flows are
+            # masked out of the CCA updates from the *next* step on, so
+            # their rate pins to zero and they contribute no arrivals —
+            # without ever re-allocating the incidence pipeline.
+            delivered_vol = np.zeros(num_flows)
+            completed = np.zeros(num_flows, dtype=bool)
+            end_times = np.full(num_flows, math.nan)
 
         max_delay = float(np.max(propagation_rtt)) + dt
         rate_history = VectorHistory(num_flows, dt, max_delay)
@@ -559,7 +632,10 @@ class FluidSimulator:
                 )
 
             # 3. CCA updates: batched groups, then scalar-fallback flows.
-            active_all = None if t >= max_start else start_times <= t
+            if churn:
+                active_all = (start_times <= t) & (t < stop_times) & ~completed
+            else:
+                active_all = None if t >= max_start else start_times <= t
             for model, idx, batch, inputs in batch_groups:
                 inputs.t = t
                 if idx is None:
@@ -590,11 +666,21 @@ class FluidSimulator:
                     delivery_rate=float(delivery_rates[i]),
                     rate_delayed=float(own_delayed[i]),
                     propagation_rtt=float(propagation_rtt[i]),
-                    active=t >= start_times[i],
+                    active=bool(active_all[i]) if churn else t >= start_times[i],
                     literal_xmax=literal_xmax,
                 )
                 self.models[i].step(states[i], inputs_i)
                 rates_all[i] = states[i].rate
+
+            if churn:
+                # Finite-size completion: only active flows accumulate
+                # delivered volume, and a crossing takes effect (flow
+                # masked inactive) from the next step.
+                delivered_vol += np.where(active_all, delivery_rates, 0.0) * dt
+                newly_done = (delivered_vol >= flow_sizes) & ~completed
+                if newly_done.any():
+                    completed |= newly_done
+                    end_times[newly_done] = t
 
             # 4. Record (before integrating queues so t=0 is captured).
             if step % record_every == 0 and record_index < num_records:
@@ -654,6 +740,14 @@ class FluidSimulator:
                 key: values[:record_index] for key, values in scalar_extras[i].items()
             }
 
+        flow_ends = self._flow_end_list(
+            churn,
+            num_flows,
+            cfg.duration_s,
+            completed if churn else None,
+            end_times if churn else None,
+            stop_times if churn else None,
+        )
         return self._build_trace(
             rec_time[:record_index],
             rec_rate[:record_index],
@@ -678,6 +772,8 @@ class FluidSimulator:
                 idx: rec_link[:record_index, 3 * num_queued + pos]
                 for pos, idx in enumerate(queued_links)
             },
+            flow_starts=start_times,
+            flow_ends=flow_ends,
         )
 
     # ------------------------------------------------------------------ #
@@ -699,7 +795,11 @@ class FluidSimulator:
         backward_delay = np.array(
             [net.backward_delay(i, bottleneck_of[i]) for i in range(num_flows)]
         )
-        start_times = np.array([f.start_time_s for f in cfg.flows], dtype=float)
+        start_times, stop_times, flow_sizes, churn = self._flow_lifetimes()
+        if churn:
+            delivered_vol = np.zeros(num_flows)
+            completed = np.zeros(num_flows, dtype=bool)
+            end_times = np.full(num_flows, math.nan)
 
         max_delay = float(np.max(propagation_rtt)) + dt
         rate_history = VectorHistory(num_flows, dt, max_delay)
@@ -899,6 +999,14 @@ class FluidSimulator:
                         survive *= 1.0 - loss_history.at_delay(idx, back)
                     path_loss = 1.0 - survive
 
+                if churn:
+                    active_i = bool(
+                        start_times[i] <= t
+                        and t < stop_times[i]
+                        and not completed[i]
+                    )
+                else:
+                    active_i = t >= start_times[i]
                 inputs = FlowInputs(
                     t=t,
                     dt=dt,
@@ -908,10 +1016,17 @@ class FluidSimulator:
                     delivery_rate=delivery_rates[i],
                     rate_delayed=own_delayed,
                     propagation_rtt=propagation_rtt[i],
-                    active=t >= start_times[i],
+                    active=active_i,
                     literal_xmax=cfg.fluid.literal_xmax,
                 )
                 self.models[i].step(states[i], inputs)
+                if churn and active_i:
+                    # Same volume/completion arithmetic (and operation
+                    # order) as the vectorized pipeline, for bit-identity.
+                    delivered_vol[i] += delivery_rates[i] * dt
+                    if not completed[i] and delivered_vol[i] >= flow_sizes[i]:
+                        completed[i] = True
+                        end_times[i] = t
 
             # 3. Record (before integrating queues so t=0 is captured).
             if step % record_every == 0 and record_index < num_records:
@@ -959,6 +1074,14 @@ class FluidSimulator:
             queue_history.push(qs)
             loss_history.push(losses)
 
+        flow_ends = self._flow_end_list(
+            churn,
+            num_flows,
+            cfg.duration_s,
+            completed if churn else None,
+            end_times if churn else None,
+            stop_times if churn else None,
+        )
         return self._build_trace(
             rec_time[:record_index],
             rec_rate[:record_index],
@@ -971,6 +1094,8 @@ class FluidSimulator:
             {idx: rec_loss[idx][:record_index] for idx in queued_links},
             {idx: rec_arrival[idx][:record_index] for idx in queued_links},
             {idx: rec_departure[idx][:record_index] for idx in queued_links},
+            flow_starts=start_times,
+            flow_ends=flow_ends,
         )
 
     # ------------------------------------------------------------------ #
@@ -990,6 +1115,8 @@ class FluidSimulator:
         loss: dict[int, np.ndarray],
         arrival: dict[int, np.ndarray],
         departure: dict[int, np.ndarray],
+        flow_starts: np.ndarray | None = None,
+        flow_ends: list[float | None] | None = None,
     ) -> Trace:
         flows = [
             FlowTrace(
@@ -1000,6 +1127,8 @@ class FluidSimulator:
                 inflight=inflight[:, i],
                 rtt=rtt[:, i],
                 extras=extras[i],
+                start_time_s=0.0 if flow_starts is None else float(flow_starts[i]),
+                end_time_s=None if flow_ends is None else flow_ends[i],
             )
             for i in range(self.network.num_flows)
         ]
@@ -1081,6 +1210,8 @@ def simulate_many(
     combined_links: list = []
     combined_paths: list[Path] = []
     combined_flows: list = []
+    combined_entries: list[FlowArrival] = []
+    any_schedule = any(cfg.schedule is not None for cfg in configs)
     models: dict[int, FluidCCA] = {}
     initial_states: list = []
     flow_bounds = [0]
@@ -1091,6 +1222,16 @@ def simulate_many(
         offset = len(combined_links)
         combined_links.extend(net.links)
         queued_counts.append(len(net.queued_link_indices()))
+        if any_schedule:
+            # Concatenate each scenario's materialised schedule; a
+            # schedule-free scenario contributes plain start-only entries,
+            # so its flows keep the legacy start-time masking.
+            entries = cfg.flow_schedule()
+            if entries is None:
+                entries = tuple(
+                    FlowArrival(start_time_s=f.start_time_s) for f in cfg.flows
+                )
+            combined_entries.extend(entries)
         for path in net.paths:
             combined_paths.append(
                 Path(
@@ -1116,7 +1257,7 @@ def simulate_many(
     # topology must not survive into the merged config (its path count
     # would not match the combined flow population).
     merged_config = dataclasses.replace(
-        first, flows=tuple(combined_flows), topology=None
+        first, flows=tuple(combined_flows), topology=None, schedule=None
     )
     combined = FluidSimulator(
         merged_config,
@@ -1125,6 +1266,7 @@ def simulate_many(
         vectorized=True,
         network=network,
         initial_states=initial_states,
+        schedule_entries=combined_entries if any_schedule else None,
     ).run()
 
     # Split the combined trace back into one trace per scenario.  Links are

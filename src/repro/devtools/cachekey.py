@@ -40,7 +40,14 @@ from collections.abc import Callable, Iterator, Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
-from ..config import FlowConfig, FluidParams, LinkConfig, ScenarioConfig, TopologyConfig
+from ..config import (
+    FlowConfig,
+    FlowSchedule,
+    FluidParams,
+    LinkConfig,
+    ScenarioConfig,
+    TopologyConfig,
+)
 from ..experiments import sweep as sweep_mod
 from ..experiments import store as store_mod
 from ..topology import parking_lot
@@ -52,12 +59,14 @@ from .findings import Finding
 #: this list short and honest: every entry is a place where two different
 #: configs intentionally share one stored record.
 ALLOWED_UNHASHED: dict[tuple[str, str, str], str] = {
-    # The fluid model is deterministic and never consumes the seed: seed
-    # replicas of a fluid point alias onto one computation and one stored
-    # record on purpose (PR 3's documented design).
+    # The fluid model is deterministic and — without a random flow schedule
+    # — never consumes the seed: seed replicas of a schedule-free fluid
+    # point alias onto one computation and one stored record on purpose
+    # (PR 3's documented design).  scenario_key keeps the seed hashed when
+    # the schedule draws random arrivals/sizes (FlowSchedule.uses_seed).
     ("ScenarioConfig", "seed", "fluid"): (
-        "fluid substrate is deterministic; seed replicas deliberately share "
-        "one stored record"
+        "fluid substrate is deterministic; seed replicas of schedule-free "
+        "points deliberately share one stored record"
     ),
 }
 
@@ -90,6 +99,7 @@ CONFIG_CLASSES: tuple[type, ...] = (
     LinkConfig,
     FlowConfig,
     FluidParams,
+    FlowSchedule,
 )
 
 
@@ -98,6 +108,18 @@ def _dumbbell_base() -> ScenarioConfig:
         bottleneck=LinkConfig(capacity_mbps=100.0, delay_s=0.010, buffer_bdp=1.0),
         flows=(FlowConfig("bbr1"), FlowConfig("reno", access_delay_s=0.007)),
         duration_s=2.0,
+    )
+
+
+def _churn_base() -> ScenarioConfig:
+    return dataclasses.replace(
+        _dumbbell_base(),
+        schedule=FlowSchedule(
+            arrivals="poisson",
+            arrival_rate_per_s=5.0,
+            size_dist="pareto",
+            max_size_packets=100.0,
+        ),
     )
 
 
@@ -159,6 +181,17 @@ _FIELD_MUTATORS: dict[tuple[str, str], Callable[[Any], Any]] = {
         if topo is None
         else topo.with_buffer(topo.links[0].buffer_bdp * 2.0)
     ),
+    ("ScenarioConfig", "schedule"): lambda sched: (
+        # The dumbbell base carries no schedule: mutate by attaching one
+        # (seed-free, so the fluid seed exclusion stays exercised).
+        FlowSchedule(arrivals="staggered", arrival_spacing_s=0.25)
+        if sched is None
+        else dataclasses.replace(sched, arrival_spacing_s=sched.arrival_spacing_s + 0.25)
+    ),
+    ("FlowSchedule", "arrivals"): lambda arrivals: _other(
+        arrivals, ("staggered", "poisson")
+    ),
+    ("FlowSchedule", "size_dist"): lambda dist: _other(dist, ("infinite", "pareto")),
     ("LinkConfig", "discipline"): lambda disc: _other(disc, ("droptail", "red")),
     ("LinkConfig", "name"): lambda name: name + "-renamed",
     ("FlowConfig", "cca"): lambda cca: _other(cca, ("bbr1", "reno", "cubic")),
@@ -184,10 +217,12 @@ class Probe:
 def default_probes(
     dumbbell: ScenarioConfig | None = None,
     topology: ScenarioConfig | None = None,
+    churn: ScenarioConfig | None = None,
 ) -> list[Probe]:
     """The probe set covering every config dataclass the scenario key hashes."""
     dumbbell = dumbbell if dumbbell is not None else _dumbbell_base()
     topology = topology if topology is not None else _topology_base()
+    churn = churn if churn is not None else _churn_base()
     return [
         Probe(type(dumbbell), dumbbell, lambda c: c, lambda c, v: v),
         Probe(
@@ -213,6 +248,12 @@ def default_probes(
             topology,
             lambda c: c.topology,
             lambda c, v: dataclasses.replace(c, topology=v),
+        ),
+        Probe(
+            FlowSchedule,
+            churn,
+            lambda c: c.schedule,
+            lambda c, v: dataclasses.replace(c, schedule=v),
         ),
     ]
 

@@ -37,6 +37,7 @@ UNIT_SCOPE = (
 #: Canonical unit suffixes (from repro/units.py) and the dimension each
 #: one denotes.  ``_pkts`` and ``_packets`` are the same dimension.
 UNIT_SUFFIXES: dict[str, str] = {
+    "_per_s": "1/s",
     "_s": "seconds",
     "_ms": "milliseconds",
     "_bps": "bits/s",
@@ -61,6 +62,9 @@ UNIT_STEMS = (
     "latency",
     "throughput",
     "goodput",
+    # Arrival/departure rates (FlowSchedule): "1/s" names must say so via
+    # the ``_per_s`` suffix (``arrival_rate_per_s``), not a bare ``rate``.
+    "rate",
 )
 
 #: Names exempted despite carrying a stem (documented conventions).

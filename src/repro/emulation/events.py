@@ -210,6 +210,36 @@ class DelayLine:
         if self._timer._entry is None:
             self._timer.schedule_at(ready_time)
 
+    def purge(self, predicate: Callable) -> int:
+        """Remove every pending item for which ``predicate(item)`` is true.
+
+        Used when a flow departs mid-run: its packets still travelling a
+        *shared* delay line (a multi-hop forward line) must not be delivered
+        to a torn-down endpoint.  The timer is re-armed to the surviving
+        head — :meth:`_pop_ready` pops the head unconditionally, so a stale
+        firing time would deliver the wrong item early.  Returns the number
+        of items removed.
+        """
+        pending = self._pending
+        if not pending:
+            return 0
+        kept = deque(entry for entry in pending if not predicate(entry[1]))
+        removed = len(pending) - len(kept)
+        if removed:
+            self._pending = kept
+            self._timer.cancel()
+            if kept:
+                self._timer.schedule_at(kept[0][0])
+        return removed
+
+    def clear(self) -> int:
+        """Drop every pending item and disarm the timer (endpoint teardown)."""
+        removed = len(self._pending)
+        if removed:
+            self._pending.clear()
+        self._timer.cancel()
+        return removed
+
     def _pop_ready(self) -> None:
         pending = self._pending
         sink = self._sink

@@ -48,6 +48,10 @@ class Sender:
         "return_delay_s",
         "mss_bytes",
         "start_time_s",
+        "size_packets",
+        "stop_time_s",
+        "completed_time_s",
+        "on_complete",
         "next_seq",
         "inflight",
         "n_inflight",
@@ -68,6 +72,8 @@ class Sender:
         "_next_send_time",
         "_last_ack_time",
         "_started",
+        "_done",
+        "_stop_timer",
     )
 
     def __init__(
@@ -80,9 +86,15 @@ class Sender:
         return_delay_s: float,
         mss_bytes: int,
         start_time_s: float = 0.0,
+        size_packets: int | None = None,
+        stop_time_s: float | None = None,
     ) -> None:
         if access_delay_s < 0 or return_delay_s < 0:
             raise ValueError("delays must be non-negative")
+        if size_packets is not None and size_packets < 1:
+            raise ValueError("flow size must be at least one packet")
+        if stop_time_s is not None and stop_time_s <= start_time_s:
+            raise ValueError("stop time must lie after the start time")
         self.events = events
         self.flow_id = flow_id
         self.cca = cca
@@ -91,6 +103,14 @@ class Sender:
         self.return_delay_s = return_delay_s
         self.mss_bytes = mss_bytes
         self.start_time_s = start_time_s
+        #: Packets to deliver before the flow completes (None: long-lived).
+        self.size_packets = size_packets
+        #: Absolute switch-off time of an on/off source (None: never).
+        self.stop_time_s = stop_time_s
+        #: Absolute time the flow completed or switched off (None: active).
+        self.completed_time_s: float | None = None
+        #: Runner hook fired once at teardown (purges shared delay lines).
+        self.on_complete: Callable[[Sender], None] | None = None
 
         self.next_seq = 0
         self.inflight: dict[int, Packet] = {}
@@ -108,6 +128,8 @@ class Sender:
         self._next_send_time = start_time_s
         self._last_ack_time = start_time_s
         self._started = False
+        self._done = False
+        self._stop_timer = Timer(events, self._on_stop) if stop_time_s is not None else None
 
         #: Data path to the bottleneck (the sender's private access link).
         self._access_line = DelayLine(events, access_delay_s, bottleneck.on_arrival)
@@ -136,6 +158,8 @@ class Sender:
         self._started = True
         self.events.schedule_at(self.start_time_s, self._try_send)
         self._watchdog.schedule_at(self.start_time_s + TIMEOUT_CHECK_INTERVAL_S)
+        if self._stop_timer is not None and self.stop_time_s is not None:
+            self._stop_timer.schedule_at(self.stop_time_s)
 
     # ------------------------------------------------------------------ #
     # Transmission path
@@ -147,6 +171,8 @@ class Sender:
         return max(MIN_RTO_S, 4.0 * self.srtt_s)
 
     def _try_send(self) -> None:
+        if self._done:
+            return
         now = self.events.now
         next_send = self._next_send_time
         if now < next_send and self._pacing_timer._entry is not None:
@@ -160,6 +186,11 @@ class Sender:
             window = 1.0
         n_inflight = self.n_inflight
         if n_inflight >= window:
+            return
+        limit = self.size_packets if self.size_packets is not None else _INF
+        if self.next_seq >= limit:
+            # Every packet of a finite flow is already injected; completion
+            # fires once the last in-flight packet is acknowledged.
             return
         if now >= next_send:
             rate = cca.pacing_rate_pps  # inlined cca.pacing_interval()
@@ -179,7 +210,7 @@ class Sender:
                 seq += 1
                 n_inflight += 1
                 next_send = (next_send if next_send > now else now) + interval
-                if n_inflight >= window or now < next_send:
+                if n_inflight >= window or now < next_send or seq >= limit:
                     break
             self.sent_count += seq - first_seq
             self.next_seq = seq
@@ -190,7 +221,7 @@ class Sender:
             timer = line._timer
             if timer._entry is None:
                 timer._arm(pending[0][0])
-        if n_inflight < window and now < next_send:
+        if n_inflight < window and now < next_send and self.next_seq < limit:
             # Pacing-limited: wake up when the next transmission is allowed.
             timer = self._pacing_timer
             if timer._entry is None:
@@ -202,9 +233,16 @@ class Sender:
 
     def on_packet_delivered(self, packet: Packet) -> None:
         """Called by the topology when a packet reaches the destination host."""
+        if self._done:
+            # Stragglers of a departed flow (packets that were already queued
+            # at a bottleneck when the source switched off) die here rather
+            # than re-arming the torn-down return line.
+            return
         self.return_line.send(packet)
 
     def _on_ack(self, packet: Packet) -> None:
+        if self._done:
+            return
         now = self.events.now
         self._last_ack_time = now
         inflight = self.inflight
@@ -251,6 +289,10 @@ class Sender:
         else:
             self.n_inflight = n_inflight
         self._cca_ack(now, rtt, delivery_rate, n_inflight, seq, 1)
+        size = self.size_packets
+        if size is not None and self.next_seq >= size and n_inflight == 0:
+            self._complete(now)
+            return
         self._try_send()
 
     def _reconcile_late_ack(self, seq: int) -> None:
@@ -285,6 +327,8 @@ class Sender:
     # ------------------------------------------------------------------ #
 
     def _check_timeout(self) -> None:
+        if self._done:
+            return
         now = self.events.now
         inflight = self.inflight
         if inflight and now - self._last_ack_time > self._rto():
@@ -298,7 +342,50 @@ class Sender:
             self.cca.on_timeout(now)
             self._last_ack_time = now
             self._try_send()
+            size = self.size_packets
+            if size is not None and self.next_seq >= size and self.n_inflight == 0:
+                # The write-off drained the window and every packet of the
+                # finite flow is injected: nothing can restart this source.
+                self._complete(now)
+                return
         self._watchdog.schedule(TIMEOUT_CHECK_INTERVAL_S)
+
+    # ------------------------------------------------------------------ #
+    # Finite-size completion and on/off switch-off
+    # ------------------------------------------------------------------ #
+
+    def _on_stop(self) -> None:
+        """On/off switch-off: abandon in-flight data and tear down."""
+        if self._done:
+            return
+        # The source stops mid-transfer: whatever is still travelling is
+        # abandoned, not awaited — the flow's lifetime ends exactly at the
+        # configured stop time.
+        self.inflight.clear()
+        self.n_inflight = 0
+        self._timeout_marked.clear()
+        self._complete(self.events.now)
+
+    def _complete(self, now: float) -> None:
+        """Record the completion time and release every event-loop resource.
+
+        After this call the sender occupies zero heap slots: the pacing
+        timer, the RTO watchdog, the stop timer and both private delay
+        lines are cancelled/drained, so a churn run's heap stays bounded by
+        the *active* flow population.  Packets of this flow still inside
+        shared infrastructure (bottleneck queues, multi-hop forward lines)
+        are the runner's responsibility (see its ``on_complete`` hook).
+        """
+        self._done = True
+        self.completed_time_s = now
+        self._pacing_timer.cancel()
+        self._watchdog.cancel()
+        if self._stop_timer is not None:
+            self._stop_timer.cancel()
+        self._access_line.clear()
+        self.return_line.clear()
+        if self.on_complete is not None:
+            self.on_complete(self)
 
 
 class Destination:

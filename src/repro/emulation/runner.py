@@ -18,6 +18,17 @@ Per-link queue/loss/utilization series are recorded into the sampling
 buffers and emitted as one :class:`~repro.metrics.traces.LinkTrace` per
 queued link.
 
+When the scenario carries a :class:`~repro.config.FlowSchedule`, the runner
+materialises it once (the identical per-flow start/size/stop list the fluid
+substrate consumes) and builds each sender with its scheduled activation
+time, finite size and optional switch-off time.  A departing flow tears
+itself down — timers cancelled, private delay lines drained — and the
+runner's ``on_complete`` hook purges its stragglers from the shared
+inter-link forward lines, so the event heap stays bounded by the *active*
+flow population under churn.  Flow lifetimes are recorded on the
+:class:`~repro.metrics.traces.FlowTrace` (``start_time_s``/``end_time_s``)
+for flow-completion-time metrics.
+
 Samples are recorded into preallocated numpy buffers on an absolute time
 grid (sample ``k`` fires at exactly ``(k + 1) * record_interval_s``), so
 emulation trace timestamps line up with the fluid traces' uniform grid
@@ -45,14 +56,13 @@ single-bottleneck scenarios only.
 
 from __future__ import annotations
 
-import hashlib
 import math
-import random
 
 import numpy as np
 
 from .. import units
 from ..config import ScenarioConfig
+from ..rng import derive_rng
 from ..metrics.traces import FlowTrace, LinkTrace, Trace
 from . import closure_ref
 from .cca import create_packet_cca
@@ -71,18 +81,7 @@ SCHEDULERS = ("delayline", "closure")
 #: Override per run via ``EmulationRunner(unbounded_buffer_bdp=...)``.
 UNBOUNDED_BUFFER_BDP = 100.0
 
-
-def derive_rng(seed: int, stream: str) -> random.Random:
-    """Derive an independent, collision-free RNG stream from a scenario seed.
-
-    The old affine derivation ``seed + 17 * (i + 1)`` aliased across
-    scenarios (seed 1 / flow 1 and seed 18 / flow 0 shared a stream), which
-    would silently correlate multi-seed replicas.  Hashing the (seed,
-    stream-label) pair instead gives every (scenario seed, stream) its own
-    generator, deterministically across platforms and processes.
-    """
-    digest = hashlib.sha256(f"repro:{seed}:{stream}".encode()).digest()
-    return random.Random(int.from_bytes(digest[:16], "big"))
+__all__ = ["derive_rng", "EmulationRunner", "emulate", "SCHEDULERS", "UNBOUNDED_BUFFER_BDP"]
 
 
 class EmulationRunner:
@@ -108,6 +107,15 @@ class EmulationRunner:
                 "multi-bottleneck topologies require the delayline scheduler "
                 "(the closure reference predates the topology subsystem)"
             )
+        # Materialise the flow schedule once: both substrates consume the
+        # identical per-flow (start, size, stop) list (see FlowSchedule).
+        schedule_entries = config.flow_schedule()
+        if schedule_entries is not None and scheduler != "delayline":
+            raise ValueError(
+                "flow schedules require the delayline scheduler "
+                "(the closure reference predates time-varying flow populations)"
+            )
+        self._schedule_entries = schedule_entries
         self.config = config
         self.topology = topo
         self.record_interval_s = record_interval_s
@@ -166,23 +174,44 @@ class EmulationRunner:
             )
             first_hop = link_by_name[topo.paths[i][0]]
             path_delay_s = sum(topo.link(name).delay_s for name in topo.paths[i])
-            self.senders[i] = sender_cls(
-                events=self.events,
-                flow_id=i,
-                cca=cca,
-                bottleneck=first_hop,
-                access_delay_s=flow_cfg.access_delay_s,
-                return_delay_s=flow_cfg.access_delay_s + path_delay_s,
-                mss_bytes=units.MSS_BYTES,
-                start_time_s=flow_cfg.start_time_s,
-            )
+            if schedule_entries is None:
+                self.senders[i] = sender_cls(
+                    events=self.events,
+                    flow_id=i,
+                    cca=cca,
+                    bottleneck=first_hop,
+                    access_delay_s=flow_cfg.access_delay_s,
+                    return_delay_s=flow_cfg.access_delay_s + path_delay_s,
+                    mss_bytes=units.MSS_BYTES,
+                    start_time_s=flow_cfg.start_time_s,
+                )
+            else:
+                # Schedule start times override FlowConfig.start_time_s (the
+                # fluid substrate applies the same precedence).
+                entry = schedule_entries[i]
+                size = entry.size_packets
+                self.senders[i] = sender_cls(
+                    events=self.events,
+                    flow_id=i,
+                    cca=cca,
+                    bottleneck=first_hop,
+                    access_delay_s=flow_cfg.access_delay_s,
+                    return_delay_s=flow_cfg.access_delay_s + path_delay_s,
+                    mss_bytes=units.MSS_BYTES,
+                    start_time_s=entry.start_time_s,
+                    size_packets=None if size is None else max(1, math.ceil(size)),
+                    stop_time_s=entry.stop_time_s,
+                )
+                self.senders[i].on_complete = self._on_flow_complete
+        #: Shared inter-link forward lines, kept for churn teardown purges.
+        self._forward_lines: dict[tuple[str, str], DelayLine] = {}
         if scheduler == "delayline":
             # Fuse every link's propagation leg into its onward routes: an
             # intermediate hop pushes straight onto the forward delay line
             # of the next link, and a flow's last hop pushes onto the
             # flow's return delay line (one event per packet per hop saved;
             # identical arrival/acknowledgement times).
-            forward_lines: dict[tuple[str, str], DelayLine] = {}
+            forward_lines = self._forward_lines
             for name, link in link_by_name.items():
                 routes: list[tuple[DelayLine, float] | None] = [None] * config.num_flows
                 used = False
@@ -230,6 +259,23 @@ class EmulationRunner:
         self._sample_timer = (
             Timer(self.events, self._sample) if scheduler == "delayline" else None
         )
+
+    # ------------------------------------------------------------------ #
+    # Churn teardown
+    # ------------------------------------------------------------------ #
+
+    def _on_flow_complete(self, sender: Sender) -> None:
+        """A scheduled flow completed or switched off: purge its stragglers.
+
+        The sender has already cancelled its own timers and drained its
+        private access/return lines; what remains are packets of this flow
+        travelling *shared* inter-link forward lines (multi-hop topologies).
+        Purging them keeps the heap and the deques bounded by the active
+        flow population — a departed flow costs zero live events.
+        """
+        flow_id = sender.flow_id
+        for line in self._forward_lines.values():
+            line.purge(lambda packet: packet.flow_id == flow_id)
 
     # ------------------------------------------------------------------ #
     # Sampling
@@ -319,8 +365,11 @@ class EmulationRunner:
         n = self._sample_idx
         time = self._time_buf[:n].copy()
         rate_buf, delivery_buf, cwnd_buf, inflight_buf, rtt_buf = self._flow_buffers
+        entries = self._schedule_entries
         flows = []
         for i, flow_cfg in enumerate(self.config.flows):
+            sender = self.senders[i]
+            start_s = entries[i].start_time_s if entries is not None else flow_cfg.start_time_s
             flows.append(
                 FlowTrace(
                     cca=flow_cfg.cca,
@@ -329,6 +378,8 @@ class EmulationRunner:
                     cwnd=cwnd_buf[i, :n].copy(),
                     inflight=inflight_buf[i, :n].copy(),
                     rtt=rtt_buf[i, :n].copy(),
+                    start_time_s=start_s,
+                    end_time_s=getattr(sender, "completed_time_s", None),
                 )
             )
         queue_buf, loss_buf, arrival_buf, departure_buf = self._link_buffers

@@ -19,12 +19,16 @@ lists as future work, on both substrates.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Sequence
 
 from .. import topology as topology_builders
 from ..config import (
+    ARRIVAL_PROCESSES,
     QUEUE_DISCIPLINES,
+    SIZE_DISTRIBUTIONS,
     FlowConfig,
+    FlowSchedule,
     FluidParams,
     ScenarioConfig,
     dumbbell_scenario,
@@ -147,6 +151,127 @@ def aggregate_scenario(
         fluid=fluid,
         seed=seed,
     )
+
+
+def churn_scenario(
+    mix: str,
+    num_flows: int = 100,
+    arrivals: str = "poisson",
+    load: float = 0.5,
+    size_dist: str = "pareto",
+    mean_size_packets: float = 1000.0,
+    pareto_shape: float = 1.5,
+    min_size_packets: float = 10.0,
+    max_size_packets: float | None = None,
+    onoff_period_s: float = 2.0,
+    buffer_bdp: float = 1.0,
+    discipline: str = "droptail",
+    short_rtt: bool = False,
+    duration_s: float = 30.0,
+    dt: float = SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    seed: int = 1,
+) -> ScenarioConfig:
+    """A dumbbell scenario with a time-varying flow population (churn).
+
+    The :data:`CCA_MIXES` pattern ``mix`` is repeated round-robin across
+    ``num_flows`` flows, and a :class:`~repro.config.FlowSchedule` drives
+    their lifetimes:
+
+    * ``arrivals="poisson"``/``"staggered"``: flows arrive at the rate that
+      offers ``load`` of the bottleneck capacity — ``lambda = load * C /
+      E[size]`` flows per second (Poisson draws exponential inter-arrivals;
+      staggered spaces them deterministically at ``1/lambda``).
+    * ``arrivals="onoff"``: each source cycles through an
+      ``onoff_period_s``-second period with duty cycle ``load`` (on for
+      ``load * period``), phases spread evenly across sources.
+
+    ``size_dist`` picks the flow sizes: ``"pareto"`` is the heavy-tailed
+    mice-and-elephants workload (bounded Pareto on ``[min_size_packets,
+    max_size_packets]``; the bound defaults to ``100 * mean_size_packets``),
+    ``"fixed"`` sends exactly ``mean_size_packets``, ``"infinite"`` keeps
+    flows long-lived (the natural choice for on/off sources).
+    ``mean_size_packets`` anchors the offered-load arithmetic in every
+    case.  Everything else (capacity, RTT spread, buffers, fair-share
+    initial window) matches :func:`aggregate_scenario`.
+    """
+    if mix not in CCA_MIXES:
+        raise ValueError(f"unknown CCA mix {mix!r}; expected one of {sorted(CCA_MIXES)}")
+    if num_flows < 1:
+        raise ValueError("num_flows must be positive")
+    if arrivals not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival process {arrivals!r}; expected one of {ARRIVAL_PROCESSES}"
+        )
+    if size_dist not in SIZE_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown size distribution {size_dist!r}; "
+            f"expected one of {SIZE_DISTRIBUTIONS}"
+        )
+    if load <= 0:
+        raise ValueError("load must be positive")
+    if arrivals == "onoff" and load >= 1.0:
+        raise ValueError("on/off sources need a duty cycle load < 1")
+    if mean_size_packets < 1:
+        raise ValueError("mean_size_packets must be at least one packet")
+    pattern = CCA_MIXES[mix]
+    ccas = [pattern[i % len(pattern)] for i in range(num_flows)]
+    size_kwargs: dict = {"size_dist": size_dist}
+    if size_dist == "fixed":
+        size_kwargs["mean_size_packets"] = mean_size_packets
+    elif size_dist == "pareto":
+        size_kwargs.update(
+            pareto_shape=pareto_shape,
+            min_size_packets=min_size_packets,
+            max_size_packets=(
+                max_size_packets
+                if max_size_packets is not None
+                else 100.0 * mean_size_packets
+            ),
+        )
+    if arrivals == "onoff":
+        schedule = FlowSchedule(
+            arrivals="onoff",
+            on_time_s=load * onoff_period_s,
+            off_time_s=(1.0 - load) * onoff_period_s,
+            **size_kwargs,
+        )
+    else:
+        # Offered load: lambda * E[size] = load * C, with E[size] taken from
+        # the actual size distribution (mean_size_packets anchors "infinite",
+        # whose flows never complete but still arrive at the nominal rate).
+        capacity_pps = 100.0e6 / (1500 * 8)
+        probe = FlowSchedule(arrivals="staggered", **size_kwargs)
+        mean_size = (
+            mean_size_packets
+            if size_dist == "infinite"
+            else probe.mean_flow_size_packets()
+        )
+        arrival_rate = load * capacity_pps / mean_size
+        if arrivals == "poisson":
+            schedule = FlowSchedule(
+                arrivals="poisson", arrival_rate_per_s=arrival_rate, **size_kwargs
+            )
+        else:
+            schedule = FlowSchedule(
+                arrivals="staggered",
+                arrival_spacing_s=1.0 / arrival_rate,
+                **size_kwargs,
+            )
+    bottleneck_delay = 0.005 if short_rtt else 0.010
+    rtt_range_s = (0.010, 0.020) if short_rtt else (0.030, 0.040)
+    config = dumbbell_scenario(
+        ccas,
+        capacity_mbps=100.0,
+        bottleneck_delay_s=bottleneck_delay,
+        rtt_range_s=rtt_range_s,
+        buffer_bdp=buffer_bdp,
+        discipline=discipline,
+        duration_s=duration_s,
+        fluid=_sweep_fluid(num_flows, rtt_range_s, dt, whi_init_bdp),
+        seed=seed,
+    )
+    return dataclasses.replace(config, schedule=schedule)
 
 
 #: Topology presets accepted by :func:`topology_scenario`, the sweep's

@@ -45,7 +45,12 @@ from ..metrics.aggregate import AggregateMetrics
 #: loss/capacity and picks the effective (survival-scaled) bottleneck for
 #: Eq. 17, so every multi-hop fluid result changed; v2 rows are skipped on
 #: load rather than served stale.
-SCHEMA_VERSION = 3
+#: v4: time-varying flow populations — ``ScenarioConfig`` grew a
+#: ``schedule`` (:class:`~repro.config.FlowSchedule`), so every scenario
+#: hash changed, and ``AggregateMetrics`` grew the churn columns (FCT
+#: percentiles, active-set fairness, mean active flows); v3 rows are
+#: skipped on load rather than served without the new columns.
+SCHEMA_VERSION = 4
 
 #: Environment variable naming the default store file.
 ENV_VAR = "REPRO_STORE"
@@ -73,9 +78,10 @@ def scenario_key(
     The full scenario configuration — including the seed and every fluid
     parameter — is hashed together with the substrate, the emulator's
     sampling parameters and :data:`SCHEMA_VERSION`.  The fluid model is
-    deterministic and never consumes the seed (or the emulator's sampling
-    parameters), so those are excluded from fluid keys: seed replicas of a
-    fluid point all resolve to one stored record.
+    deterministic and does not consume the seed (or the emulator's sampling
+    parameters) *unless* the flow schedule draws random arrivals or sizes,
+    so for seed-free scenarios those are excluded from fluid keys: seed
+    replicas of such a fluid point all resolve to one stored record.
     """
     scenario = dataclasses.asdict(config)
     payload = {
@@ -86,7 +92,7 @@ def scenario_key(
     if substrate == "emulation":
         payload["record_interval_s"] = record_interval_s
         payload["scheduler"] = scheduler
-    else:
+    elif config.schedule is None or not config.schedule.uses_seed:
         scenario.pop("seed", None)
     return stable_hash(payload)
 

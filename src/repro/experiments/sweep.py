@@ -47,6 +47,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
+from ..config import ARRIVAL_PROCESSES, SIZE_DISTRIBUTIONS
 from ..core.simulator import simulate, simulate_many
 from ..emulation.runner import emulate
 from ..metrics.aggregate import (
@@ -148,6 +149,65 @@ def _hop_tuple(values: Sequence | None) -> tuple | None:
     return None if values is None else tuple(values)
 
 
+#: Defaults of the churn axis once ``arrivals`` switches it on (kept in one
+#: place so the cache key, the store meta and the scenario always agree).
+DEFAULT_CHURN_SIZE_DIST = "pareto"
+DEFAULT_CHURN_ONOFF_SIZE_DIST = "infinite"
+DEFAULT_CHURN_LOAD = 0.5
+DEFAULT_CHURN_FLOWS = 100
+
+
+def normalize_churn_axis(
+    arrivals: str | None,
+    flow_size_dist: str | None,
+    load: float | None,
+    flows: int | None,
+) -> tuple[str | None, str | None, float | None, int | None]:
+    """Validate and default the churn axis (``--arrivals/--flow-size-dist/...``).
+
+    ``arrivals=None`` is the legacy long-lived-flow grid: the other three
+    values are meaningless there and must be unset (so a stray ``--load``
+    cannot silently do nothing).  With ``arrivals`` set, unset values are
+    resolved to their defaults — on/off sources default to long-lived
+    (``"infinite"``) sizes, arrival processes to the heavy-tailed bounded
+    Pareto — so points alias identically whether the caller spelled the
+    default out or not.
+    """
+    if arrivals is None:
+        extras = {
+            "flow_size_dist": flow_size_dist,
+            "load": load,
+            "flows": flows,
+        }
+        set_extras = [name for name, value in extras.items() if value is not None]
+        if set_extras:
+            raise ValueError(
+                f"{', '.join(set_extras)} require(s) an arrival process; "
+                "set arrivals (--arrivals) to enable the churn axis"
+            )
+        return None, None, None, None
+    if arrivals not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival process {arrivals!r}; expected one of {ARRIVAL_PROCESSES}"
+        )
+    if flow_size_dist is None:
+        flow_size_dist = (
+            DEFAULT_CHURN_ONOFF_SIZE_DIST if arrivals == "onoff" else DEFAULT_CHURN_SIZE_DIST
+        )
+    if flow_size_dist not in SIZE_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown size distribution {flow_size_dist!r}; "
+            f"expected one of {SIZE_DISTRIBUTIONS}"
+        )
+    load = DEFAULT_CHURN_LOAD if load is None else float(load)
+    if load <= 0:
+        raise ValueError("load must be positive")
+    flows = DEFAULT_CHURN_FLOWS if flows is None else int(flows)
+    if flows < 1:
+        raise ValueError("flows must be positive")
+    return arrivals, flow_size_dist, load, flows
+
+
 def hop_discipline_label(hop_disciplines: Sequence[str]) -> str:
     """The discipline label of a point whose hops carry explicit disciplines.
 
@@ -178,15 +238,21 @@ def _cache_key(
     hop_capacities: Sequence[float] | None = None,
     hop_delays: Sequence[float] | None = None,
     hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
 ) -> tuple:
     # The seed and the emulator's sampling parameters are part of the key:
     # omitting them aliased points that differ only in seed (or in
     # record_interval_s/scheduler) onto one cache slot.  The fluid model is
-    # deterministic and consumes none of the three, so fluid points
-    # *should* alias across them — seed replicas of a fluid point are one
-    # computation, not K.
+    # deterministic, so fluid points *should* alias across the sampling
+    # parameters — and across seeds, EXCEPT when a flow schedule draws
+    # random arrivals/sizes: materialisation then consumes the seed on both
+    # substrates, so fluid seed replicas are genuinely distinct points.
     if substrate == "fluid":
-        seed = 1
+        if not (arrivals == "poisson" or flow_size_dist == "pareto"):
+            seed = 1
         record_interval_s = DEFAULT_RECORD_INTERVAL_S
         scheduler = DEFAULT_SCHEDULER
     # The "dumbbell" preset *is* the legacy grid, and hops/cross_flows and
@@ -216,6 +282,10 @@ def _cache_key(
         _hop_tuple(hop_capacities),
         _hop_tuple(hop_delays),
         _hop_tuple(hop_disciplines),
+        arrivals,
+        flow_size_dist,
+        load,
+        flows,
     )
 
 
@@ -250,7 +320,33 @@ def _point_config(
     hop_capacities: Sequence[float] | None = None,
     hop_delays: Sequence[float] | None = None,
     hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
 ):
+    if arrivals is not None:
+        if topology not in (None, "dumbbell"):
+            raise ValueError(
+                "the churn axis (arrivals/flow_size_dist/load/flows) is only "
+                "defined for the dumbbell grid, not for multi-bottleneck "
+                "topology presets"
+            )
+        assert flow_size_dist is not None and load is not None and flows is not None
+        return scenarios.churn_scenario(
+            mix,
+            num_flows=flows,
+            arrivals=arrivals,
+            load=load,
+            size_dist=flow_size_dist,
+            buffer_bdp=buffer_bdp,
+            discipline=discipline,
+            short_rtt=short_rtt,
+            duration_s=duration_s,
+            dt=dt,
+            whi_init_bdp=whi_init_bdp,
+            seed=seed,
+        )
     if topology not in (None, "dumbbell"):
         if short_rtt:
             raise ValueError("short_rtt is only defined for the dumbbell grid")
@@ -304,6 +400,10 @@ def _store_meta(
     hop_capacities: Sequence[float] | None = None,
     hop_delays: Sequence[float] | None = None,
     hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
 ) -> dict:
     meta = {
         "mix": mix,
@@ -326,6 +426,11 @@ def _store_meta(
             meta["hop_delays"] = list(hop_delays)
         if hop_disciplines is not None:
             meta["hop_disciplines"] = list(hop_disciplines)
+    if arrivals is not None:
+        meta["arrivals"] = arrivals
+        meta["flow_size_dist"] = flow_size_dist
+        meta["load"] = load
+        meta["flows"] = flows
     if substrate == "emulation":
         meta["record_interval_s"] = record_interval_s
         meta["scheduler"] = scheduler
@@ -353,6 +458,10 @@ def run_point(
     hop_capacities: Sequence[float] | None = None,
     hop_delays: Sequence[float] | None = None,
     hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
 ) -> SweepPoint | SummaryPoint:
     """Run (or fetch from cache/store) a single sweep point.
 
@@ -370,9 +479,20 @@ def run_point(
     ``hop_capacities``/``hop_delays``/``hop_disciplines`` make the chain
     heterogeneous (one value per hop, validated up front); they are part of
     the cache key and the store meta.
+
+    ``arrivals`` switches the point to a churn workload (see
+    :func:`~repro.experiments.scenarios.churn_scenario`): the flow
+    population becomes time-varying with ``flows`` flows arriving by the
+    named process at offered load ``load``, drawing ``flow_size_dist``
+    sizes.  Random schedules (poisson arrivals or pareto sizes) consume the
+    scenario seed on *both* substrates, so fluid seed replicas are then
+    genuinely distinct runs.
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
+    arrivals, flow_size_dist, load, flows = normalize_churn_axis(
+        arrivals, flow_size_dist, load, flows
+    )
     # ``topology=None`` is the legacy dumbbell grid, where per-hop lists
     # have nothing to apply to — validate them under the same rule.
     hop_capacities, hop_delays, hop_disciplines = scenarios.validate_hop_axis(
@@ -407,6 +527,10 @@ def run_point(
                 hop_capacities=hop_capacities,
                 hop_delays=hop_delays,
                 hop_disciplines=hop_disciplines,
+                arrivals=arrivals,
+                flow_size_dist=flow_size_dist,
+                load=load,
+                flows=flows,
             )
             for s in seed_list
         ]
@@ -422,12 +546,14 @@ def run_point(
         mix, buffer_bdp, discipline, substrate, short_rtt, duration_s, dt,
         whi_init_bdp, seed, record_interval_s, scheduler, topology, hops, cross_flows,
         hop_capacities, hop_delays, hop_disciplines,
+        arrivals, flow_size_dist, load, flows,
     )
     if use_cache and key in _CACHE:
         return _CACHE[key]
     config = _point_config(
         mix, buffer_bdp, discipline, short_rtt, duration_s, dt, whi_init_bdp, seed,
         topology, hops, cross_flows, hop_capacities, hop_delays, hop_disciplines,
+        arrivals, flow_size_dist, load, flows,
     )
     metrics = None
     if store is not None:
@@ -450,6 +576,7 @@ def run_point(
                     dt, whi_init_bdp, seed, record_interval_s, scheduler,
                     topology, hops, cross_flows,
                     hop_capacities, hop_delays, hop_disciplines,
+                    arrivals, flow_size_dist, load, flows,
                 ),
             )
     point = SweepPoint(
@@ -485,6 +612,10 @@ def run_sweep(
     hop_capacities: Sequence[float] | None = None,
     hop_delays: Sequence[float] | None = None,
     hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
 ) -> list[SweepPoint] | list[SummaryPoint]:
     """Run the full (or a reduced) aggregate-validation sweep.
 
@@ -513,9 +644,19 @@ def run_sweep(
     sweeps run batched in-process via
     :func:`~repro.core.simulator.simulate_many` and emulation sweeps run
     serially.  Cached points are never re-dispatched.
+
+    ``arrivals`` switches every grid point to a churn workload with
+    ``flows`` flows arriving by the named process at offered load ``load``
+    and ``flow_size_dist`` sizes (see
+    :func:`~repro.experiments.scenarios.churn_scenario`); the grid, the
+    caches and the store keep working identically, and the churn axis rides
+    along in the cache key and the store meta.
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
+    arrivals, flow_size_dist, load, flows = normalize_churn_axis(
+        arrivals, flow_size_dist, load, flows
+    )
     hop_capacities, hop_delays, hop_disciplines = scenarios.validate_hop_axis(
         hops, hop_capacities, hop_delays, hop_disciplines,
         preset=topology or "dumbbell",
@@ -551,6 +692,7 @@ def run_sweep(
             whi_init_bdp, seed, record_interval_s, scheduler,
             topology, hops, cross_flows,
             hop_capacities, hop_delays, hop_disciplines,
+            arrivals, flow_size_dist, load, flows,
         )
 
     results: dict[tuple, SweepPoint] = {}
@@ -573,6 +715,7 @@ def run_sweep(
                 mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                 whi_init_bdp, seed, topology, hops, cross_flows,
                 hop_capacities, hop_delays, hop_disciplines,
+                arrivals, flow_size_dist, load, flows,
             )
             metrics = store.get(scenario_key(config, substrate, record_interval_s, scheduler))
             if metrics is not None:
@@ -598,6 +741,7 @@ def run_sweep(
                 mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                 whi_init_bdp, seed, topology, hops, cross_flows,
                 hop_capacities, hop_delays, hop_disciplines,
+                arrivals, flow_size_dist, load, flows,
             )
             store.put(
                 scenario_key(config, substrate, record_interval_s, scheduler),
@@ -607,6 +751,7 @@ def run_sweep(
                     dt, whi_init_bdp, seed, record_interval_s, scheduler,
                     topology, hops, cross_flows,
                     hop_capacities, hop_delays, hop_disciplines,
+                    arrivals, flow_size_dist, load, flows,
                 ),
             )
 
@@ -639,6 +784,10 @@ def run_sweep(
                         hop_capacities=hop_capacities,
                         hop_delays=hop_delays,
                         hop_disciplines=hop_disciplines,
+                        arrivals=arrivals,
+                        flow_size_dist=flow_size_dist,
+                        load=load,
+                        flows=flows,
                     )
                 ] = task
             # as_completed + per-point persistence: the full future set is
@@ -666,6 +815,7 @@ def run_sweep(
                     mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                     whi_init_bdp, seed, topology, hops, cross_flows,
                     hop_capacities, hop_delays, hop_disciplines,
+                    arrivals, flow_size_dist, load, flows,
                 )
                 for discipline, mix, buffer_bdp, seed in chunk
             ]
@@ -693,6 +843,7 @@ def run_sweep(
                     mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
                     whi_init_bdp, seed, topology, hops, cross_flows,
                     hop_capacities, hop_delays, hop_disciplines,
+                    arrivals, flow_size_dist, load, flows,
                 )
                 if substrate == "fluid":
                     trace = simulate(config)

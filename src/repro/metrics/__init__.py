@@ -12,6 +12,14 @@ from .aggregate import (
     summarize_metrics,
     utilization_percent,
 )
+from .churn import (
+    active_flow_counts,
+    active_flow_mask,
+    active_jain_fairness,
+    fct_percentile_s,
+    flow_completion_times,
+    mean_active_flows,
+)
 from .fairness import jain_index, per_cca_share, trace_fairness
 from .traces import FlowTrace, LinkTrace, Trace, resample
 
@@ -26,6 +34,12 @@ __all__ = [
     "jitter_ms",
     "loss_percent",
     "utilization_percent",
+    "active_flow_counts",
+    "active_flow_mask",
+    "active_jain_fairness",
+    "fct_percentile_s",
+    "flow_completion_times",
+    "mean_active_flows",
     "jain_index",
     "per_cca_share",
     "trace_fairness",

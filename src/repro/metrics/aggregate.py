@@ -25,6 +25,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .churn import active_jain_fairness, fct_percentile_s, mean_active_flows
 from .fairness import trace_fairness
 from .traces import Trace, resample
 
@@ -69,15 +70,53 @@ def jitter_ms(trace: Trace, packet_size_factor: float = 1.0) -> float:
     return 1000.0 * float(np.mean(jitters))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AggregateMetrics:
-    """The five aggregate metrics the paper reports for each scenario."""
+    """The five aggregate metrics the paper reports for each scenario.
+
+    The churn fields extend them for time-varying flow populations
+    (:class:`~repro.config.FlowSchedule` workloads): flow-completion-time
+    percentiles over the flows that departed within the run, Jain fairness
+    over the *active* flow set (time-weighted), and the time-weighted mean
+    number of concurrently active flows.  FCT fields are NaN for runs in
+    which no flow completed (in particular every long-lived-flow run), so
+    schedule-free results keep their historical five-metric meaning while
+    every record shares one stable column set.
+    """
 
     jain_fairness: float
     loss_percent: float
     buffer_occupancy_percent: float
     utilization_percent: float
     jitter_ms: float
+    fct_p50_s: float = math.nan
+    fct_p95_s: float = math.nan
+    fct_p99_s: float = math.nan
+    active_jain_fairness: float = math.nan
+    mean_active_flows: float = math.nan
+
+    def __eq__(self, other: object) -> bool:
+        # NaN-aware field equality: the FCT columns are NaN for every run
+        # in which no flow completed, and two such records must round-trip
+        # the store (and compare in tests) as equal.  Plain dataclass
+        # equality would make NaN != NaN, so no record could equal itself.
+        if not isinstance(other, AggregateMetrics):
+            return NotImplemented
+        a, b = self.as_dict(), other.as_dict()
+        return all(
+            a[name] == b[name] or (math.isnan(a[name]) and math.isnan(b[name]))
+            for name in a
+        )
+
+    def __hash__(self) -> int:
+        # Normalise NaN to a sentinel: since Python 3.10, hash(nan) is
+        # identity-based, which would break the eq/hash contract here.
+        return hash(
+            tuple(
+                None if math.isnan(value) else value
+                for value in self.as_dict().values()
+            )
+        )
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -86,17 +125,32 @@ class AggregateMetrics:
             "buffer_occupancy_percent": self.buffer_occupancy_percent,
             "utilization_percent": self.utilization_percent,
             "jitter_ms": self.jitter_ms,
+            "fct_p50_s": self.fct_p50_s,
+            "fct_p95_s": self.fct_p95_s,
+            "fct_p99_s": self.fct_p99_s,
+            "active_jain_fairness": self.active_jain_fairness,
+            "mean_active_flows": self.mean_active_flows,
         }
 
 
 def aggregate_metrics(trace: Trace) -> AggregateMetrics:
-    """Compute all aggregate metrics of the paper's Figs. 6-10 for one trace."""
+    """Compute all aggregate metrics of the paper's Figs. 6-10 for one trace.
+
+    Churn metrics ride along: FCT percentiles are NaN when no flow departed
+    within the trace; the active-set fields are always well defined (for
+    long-lived flows they degenerate to the whole-population values).
+    """
     return AggregateMetrics(
         jain_fairness=trace_fairness(trace),
         loss_percent=loss_percent(trace),
         buffer_occupancy_percent=buffer_occupancy_percent(trace),
         utilization_percent=utilization_percent(trace),
         jitter_ms=jitter_ms(trace),
+        fct_p50_s=fct_percentile_s(trace, 50),
+        fct_p95_s=fct_percentile_s(trace, 95),
+        fct_p99_s=fct_percentile_s(trace, 99),
+        active_jain_fairness=active_jain_fairness(trace),
+        mean_active_flows=mean_active_flows(trace),
     )
 
 

@@ -1,0 +1,141 @@
+"""Churn metrics for time-varying flow populations (FlowSchedule runs).
+
+Long-lived-flow metrics (Jain fairness over whole-trace means, aggregate
+loss/utilization) answer the paper's steady-state questions, but a
+scheduled workload — Poisson arrivals, heavy-tailed sizes, on/off sources —
+needs lifetime-aware ones:
+
+* **flow completion time** (FCT): ``end_time_s - start_time_s`` per
+  completed flow, summarised as percentiles.  The emulator records the
+  instant the last packet of a finite flow is acknowledged; the fluid model
+  the first integration step at which the delivered volume reaches the
+  flow size.
+* **time-weighted Jain over the active set**: Jain's index computed per
+  trace sample over the delivery rates of the flows *alive at that
+  instant*, averaged weighted by the sample interval.  Whole-trace means
+  would charge a short flow for the time it did not exist.
+* **active-flow counts**: the per-interval number of concurrently active
+  flows — the offered-load trajectory the schedule actually produced.
+
+All functions consume the common :class:`~repro.metrics.traces.Trace`
+(either substrate) and rely only on the ``start_time_s``/``end_time_s``
+lifetime fields of :class:`~repro.metrics.traces.FlowTrace`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .traces import Trace
+
+
+def flow_completion_times(trace: Trace) -> np.ndarray:
+    """Completion times (seconds) of the flows that departed within the run.
+
+    Flows still active at the end of the trace (``end_time_s is None``) are
+    right-censored and excluded; an empty array means no flow completed.
+    """
+    fcts = [
+        flow.end_time_s - flow.start_time_s
+        for flow in trace.flows
+        if flow.end_time_s is not None
+    ]
+    return np.asarray(fcts, dtype=float)
+
+
+def fct_percentile_s(trace: Trace, percentile: float) -> float:
+    """One FCT percentile in seconds; NaN when no flow completed."""
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must lie in [0, 100]")
+    fcts = flow_completion_times(trace)
+    if fcts.size == 0:
+        return math.nan
+    return float(np.percentile(fcts, percentile))
+
+
+def active_flow_mask(trace: Trace) -> np.ndarray:
+    """Boolean ``(num_flows, len(time))`` matrix: flow i alive at sample k.
+
+    A flow is alive from its start (inclusive) until its departure
+    (exclusive); a flow that never departed is alive to the end.
+    """
+    time = trace.time
+    mask = np.empty((trace.num_flows, len(time)), dtype=bool)
+    for i, flow in enumerate(trace.flows):
+        alive = time >= flow.start_time_s
+        if flow.end_time_s is not None:
+            alive &= time < flow.end_time_s
+        mask[i] = alive
+    return mask
+
+
+def active_flow_counts(trace: Trace) -> np.ndarray:
+    """Number of concurrently active flows at each trace sample."""
+    return active_flow_mask(trace).sum(axis=0)
+
+
+def _sample_weights(time: np.ndarray) -> np.ndarray:
+    """Interval length each sample represents (handles a partial tail)."""
+    if len(time) < 2:
+        return np.ones_like(time)
+    # Midpoint rule: interior samples own half of each neighbouring gap,
+    # the first/last own their single half-gap (plus nothing beyond the
+    # trace), so the weights integrate the step function exactly.
+    gaps = np.diff(time)
+    weights = np.empty_like(time)
+    weights[0] = gaps[0] / 2.0
+    weights[-1] = gaps[-1] / 2.0
+    weights[1:-1] = (gaps[:-1] + gaps[1:]) / 2.0
+    return weights
+
+
+def mean_active_flows(trace: Trace) -> float:
+    """Time-weighted mean number of concurrently active flows."""
+    counts = active_flow_counts(trace)
+    if counts.size == 0:
+        return 0.0
+    weights = _sample_weights(trace.time)
+    total = float(np.sum(weights))
+    if total <= 0:
+        return float(np.mean(counts))
+    return float(np.sum(counts * weights) / total)
+
+
+def active_jain_fairness(trace: Trace) -> float:
+    """Time-weighted Jain fairness over the *active* flow set.
+
+    At each trace sample, Jain's index is computed over the delivery rates
+    of the flows alive at that instant (same scale-invariant normalisation
+    as :func:`~repro.metrics.fairness.jain_index`: rates are divided by the
+    per-sample maximum before squaring).  Samples with no active flow carry
+    no information and are excluded; the remaining per-sample indices are
+    averaged weighted by the interval each sample represents.  NaN when no
+    sample has an active flow.
+    """
+    if trace.num_flows == 0 or len(trace.time) == 0:
+        return math.nan
+    mask = active_flow_mask(trace)
+    rates = np.vstack([flow.delivery_rate for flow in trace.flows])
+    rates = np.where(mask, np.clip(rates, 0.0, None), 0.0)
+    counts = mask.sum(axis=0)
+    valid = counts > 0
+    if not np.any(valid):
+        return math.nan
+    peak = rates.max(axis=0)
+    # Scale each sample by its peak rate; all-zero samples (active flows
+    # that delivered nothing) conventionally count as perfectly fair,
+    # matching jain_index's peak == 0 convention.
+    safe_peak = np.where(peak > 0, peak, 1.0)
+    scaled = rates / safe_peak
+    totals = scaled.sum(axis=0)
+    square_sums = (scaled * scaled).sum(axis=0)
+    jain = np.ones(len(trace.time))
+    live = valid & (peak > 0)
+    jain[live] = (totals[live] * totals[live]) / (counts[live] * square_sums[live])
+    weights = _sample_weights(trace.time)
+    weight_sum = float(np.sum(weights[valid]))
+    if weight_sum <= 0:
+        return float(np.mean(jain[valid]))
+    return float(np.sum(jain[valid] * weights[valid]) / weight_sum)

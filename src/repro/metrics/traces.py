@@ -22,6 +22,14 @@ class FlowTrace:
 
     All arrays are aligned with the parent :class:`Trace.time` grid.
     Rates are packets/second; windows and inflight are packets; RTT seconds.
+
+    ``start_time_s``/``end_time_s`` record the flow's lifetime under a
+    :class:`~repro.config.FlowSchedule`: when it started sending and when
+    it departed (finite-size completion or on/off switch-off) — ``None``
+    means the flow was still active at the end of the run.  The flow
+    completion time is ``end_time_s - start_time_s``.  Long-lived legacy
+    flows keep the defaults (started at their configured time, never
+    departed).
     """
 
     cca: str
@@ -31,6 +39,8 @@ class FlowTrace:
     inflight: np.ndarray
     rtt: np.ndarray
     extras: dict[str, np.ndarray] = field(default_factory=dict)
+    start_time_s: float = 0.0
+    end_time_s: float | None = None
 
     def __post_init__(self) -> None:
         lengths = {
@@ -149,6 +159,8 @@ class Trace:
                 inflight=f.inflight[mask],
                 rtt=f.rtt[mask],
                 extras={k: v[mask] for k, v in f.extras.items()},
+                start_time_s=f.start_time_s,
+                end_time_s=f.end_time_s,
             )
             for f in self.flows
         ]

@@ -10,3 +10,12 @@ class FixtureLink:
 
 def build(delay: float, buffer_bdp: float = 1.0) -> FixtureLink:  # UNIT001: delay
     return FixtureLink()
+
+
+@dataclass(frozen=True)
+class FixtureSchedule:
+    arrival_rate: float = 5.0  # UNIT001: rate field lacks the _per_s suffix
+
+
+def schedule(arrival_rate_per_s: float) -> FixtureSchedule:  # ok: _per_s suffix
+    return FixtureSchedule()

@@ -82,10 +82,22 @@ def test_rng003_seed_arithmetic_fixture():
 def test_unit001_missing_suffix_fixture():
     findings = UnitsChecker().run(CheckContext(FIXTURES / "unit001"))
     rules = [f.rule for f in findings]
-    assert rules.count("UNIT001") == 2  # the `capacity` field and the `delay` param
+    # The `capacity` field, the `delay` param and the bare `arrival_rate`
+    # field (a 1/s quantity that must carry the _per_s suffix).
+    assert rules.count("UNIT001") == 3
     names = " ".join(f.message for f in findings)
-    assert "capacity" in names and "delay" in names
+    assert "capacity" in names and "delay" in names and "'arrival_rate'" in names
     assert "buffer_bdp" not in names  # suffixed names pass
+    assert "arrival_rate_per_s" not in names  # _per_s is a recognised suffix
+
+
+def test_per_s_suffix_recognised():
+    from repro.devtools.unitcheck import UNIT_SUFFIXES, _needs_suffix, _suffix_of
+
+    assert _suffix_of("arrival_rate_per_s") == "_per_s"  # not the shorter "_s"
+    assert UNIT_SUFFIXES["_per_s"] != UNIT_SUFFIXES["_s"]  # distinct dimensions
+    assert not _needs_suffix("arrival_rate_per_s")
+    assert _needs_suffix("arrival_rate")
 
 
 def test_unit002_mixed_units_fixture():

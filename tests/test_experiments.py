@@ -114,7 +114,7 @@ class TestSweep:
                 **self.fast_kwargs(),
             )
             for key, value in reference.metrics.as_dict().items():
-                assert point.metrics.as_dict()[key] == pytest.approx(value, rel=1e-9)
+                assert point.metrics.as_dict()[key] == pytest.approx(value, rel=1e-9, nan_ok=True)
 
     def test_run_sweep_serves_cached_points_before_dispatch(self):
         cached = sweep.run_point("BBRv1", 1.0, "droptail", **self.fast_kwargs())
@@ -195,7 +195,7 @@ class TestSweep:
         )
         assert len(parallel) == len(serial) == 1
         for key, value in serial[0].metrics.as_dict().items():
-            assert parallel[0].metrics.as_dict()[key] == pytest.approx(value, rel=1e-9)
+            assert parallel[0].metrics.as_dict()[key] == pytest.approx(value, rel=1e-9, nan_ok=True)
 
 
 class TestFigures:

@@ -221,8 +221,17 @@ class TestTraceMetrics:
             "buffer_occupancy_percent",
             "utilization_percent",
             "jitter_ms",
+            "fct_p50_s",
+            "fct_p95_s",
+            "fct_p99_s",
+            "active_jain_fairness",
+            "mean_active_flows",
         }
         assert as_dict["jain_fairness"] == pytest.approx(1.0)
+        # Long-lived flows: no completions, so the FCT columns are NaN and
+        # the active-set fields degenerate to whole-population values.
+        assert np.isnan(as_dict["fct_p50_s"])
+        assert as_dict["mean_active_flows"] == pytest.approx(2.0)
 
 
 class TestTraceContainers:

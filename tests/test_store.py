@@ -60,6 +60,23 @@ class TestStableHash:
             config, "fluid", record_interval_s=0.02, scheduler="closure"
         )
 
+    def test_fluid_key_hashes_seed_only_for_random_schedules(self):
+        import dataclasses
+
+        # A random schedule (poisson arrivals / pareto sizes) consumes the
+        # seed on both substrates: fluid seed replicas are distinct points.
+        churn = scenarios.churn_scenario("BBRv1", num_flows=4, arrivals="poisson")
+        assert scenario_key(churn, "fluid") != scenario_key(
+            dataclasses.replace(churn, seed=churn.seed + 1), "fluid"
+        )
+        # A deterministic schedule keeps the historical aliasing.
+        det = scenarios.churn_scenario(
+            "BBRv1", num_flows=4, arrivals="staggered", size_dist="infinite"
+        )
+        assert scenario_key(det, "fluid") == scenario_key(
+            dataclasses.replace(det, seed=det.seed + 1), "fluid"
+        )
+
 
 class TestSweepStore:
     def test_roundtrip_and_persistence(self, tmp_path):
@@ -107,10 +124,10 @@ class TestSweepStore:
         path.write_text(json.dumps(record) + "\n")
         assert SweepStore(path).get("old") is None
 
-    def test_schema_is_v3_after_attenuation(self):
-        # The attenuated fluid arrival pipeline changed every multi-hop
-        # fluid result; stored v2 rows are no longer comparable.
-        assert SCHEMA_VERSION == 3
+    def test_schema_is_v4_after_flow_schedules(self):
+        # ScenarioConfig grew a FlowSchedule and AggregateMetrics the churn
+        # columns, so every scenario hash and stored row shape changed.
+        assert SCHEMA_VERSION == 4
 
     def test_v2_rows_skipped_on_load(self, tmp_path):
         # Regression: a store written by the pre-attenuation code (schema
@@ -139,6 +156,33 @@ class TestSweepStore:
         assert (store.hits, store.misses) == (1, 1)
         reloaded = SweepStore(path)
         assert reloaded.get("lot-point") == _metrics(1.0)
+
+    def test_v3_rows_skipped_on_load(self, tmp_path):
+        # Regression: a store written by the pre-FlowSchedule code (schema
+        # 3) must not serve its rows — they lack the churn metric columns
+        # and predate the schedule-aware scenario hash — while current-
+        # schema writes round-trip normally alongside the stale line.
+        path = tmp_path / "s.jsonl"
+        stale = {
+            "schema": 3,
+            "key": "pre-churn-point",
+            "metrics": {
+                # v3 rows carried only the five original aggregate metrics.
+                "jain_fairness": 1.0,
+                "loss_percent": 0.5,
+                "buffer_occupancy_percent": 40.0,
+                "utilization_percent": 95.0,
+                "jitter_ms": 0.2,
+            },
+            "meta": {"mix": "BBRv1", "buffer_bdp": 1.0},
+        }
+        path.write_text(json.dumps(stale) + "\n")
+        store = SweepStore(path)
+        assert len(store) == 0
+        assert store.get("pre-churn-point") is None
+        assert (store.hits, store.misses) == (0, 1)
+        store.put("pre-churn-point", _metrics(2.0), meta={"mix": "BBRv1"})
+        assert SweepStore(path).get("pre-churn-point") == _metrics(2.0)
 
     def test_rows_filtering(self, tmp_path):
         store = SweepStore(tmp_path / "s.jsonl")
