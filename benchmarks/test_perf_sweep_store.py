@@ -1,16 +1,22 @@
-"""Benchmark of the persistent sweep store: cold vs. warm campaign wall time.
+"""Benchmarks of the persistent sweep store: warm-resume speedup + backends.
 
-Runs a small seed-replicated emulation sweep twice against the same
-JSON-lines store (in a pytest tmp dir, so CI stays hermetic): the cold run
-computes and persists every (point, seed) replica; the warm run — with the
-in-process cache cleared, as after a process restart — must serve every
-replica from the store without recomputing anything.  Records both wall
-times and the speedup in ``benchmarks/BENCH_sweep_store.json`` and asserts
+``test_perf_sweep_store`` runs a small seed-replicated emulation sweep
+twice against the same JSON-lines store (in a pytest tmp dir, so CI stays
+hermetic): the cold run computes and persists every (point, seed) replica;
+the warm run — with the in-process cache cleared, as after a process
+restart — must serve every replica from the store without recomputing
+anything, at least ``MIN_SPEEDUP`` times faster.
 
-* the warm run hits the store for *all* points (zero recomputation), and
-* the warm run is at least 10x faster than the cold one (the acceptance
-  floor of the campaign subsystem; measured speedups are orders of
-  magnitude larger because a warm point is one dict lookup).
+``test_perf_store_backends`` compares the jsonl / sharded / sqlite
+backends head-to-head on ~2000 synthetic records: cold write wall time,
+warm (re)load wall time, and axis-query (``select``) latency.  Results are
+correctness-asserted (identical query answers on every backend) but only
+the roundtrip is hard-asserted — relative backend speeds are recorded, not
+gated, because they are hardware- and filesystem-dependent.
+
+Both tests read-modify-write ``benchmarks/BENCH_sweep_store.json`` (each
+owns its own keys), so running either alone never clobbers the other's
+numbers.
 """
 
 from __future__ import annotations
@@ -21,8 +27,21 @@ from pathlib import Path
 
 from repro.experiments import sweep
 from repro.experiments.store import SweepStore
+from repro.metrics.aggregate import AggregateMetrics
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_sweep_store.json"
+
+
+def _update_results(payload: dict) -> None:
+    """Merge this test's keys into the shared BENCH json (read-modify-write)."""
+    existing: dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing.update(payload)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
 
 GRID = dict(
     mixes=["BBRv1"],
@@ -80,7 +99,7 @@ def test_perf_sweep_store(benchmark, tmp_path):
         "warm_store_misses": warm_store.misses,
         "issue_target_speedup": MIN_SPEEDUP,
     }
-    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _update_results(results)
 
     print(f"\nSweep store cold vs warm ({n_replicas} emulation replicas):")
     print(f"  cold (compute + persist)  {cold_s:8.3f} s")
@@ -90,3 +109,103 @@ def test_perf_sweep_store(benchmark, tmp_path):
     assert speedup >= MIN_SPEEDUP, (
         f"warm sweep only {speedup:.1f}x faster than cold (expected >= {MIN_SPEEDUP}x)"
     )
+
+
+# --- Backend comparison: jsonl vs sharded vs sqlite ------------------------
+
+N_ROWS = 2000
+BACKEND_KINDS = ("jsonl", "sharded", "sqlite")
+QUERY_REPEATS = 20
+
+
+def _synthetic_rows() -> list[tuple[str, AggregateMetrics, dict]]:
+    mixes = ["BBRv1", "BBRv2", "BBRv1/CUBIC", "BBRv2/CUBIC"]
+    buffers = [0.25, 0.5, 1.0, 4.0, 16.0]
+    rows = []
+    for i in range(N_ROWS):
+        meta = {
+            "mix": mixes[i % len(mixes)],
+            "buffer_bdp": buffers[i % len(buffers)],
+            "discipline": "droptail" if i % 2 else "red",
+            "substrate": "fluid",
+            "seed": i % 100,
+        }
+        metrics = AggregateMetrics(
+            jain_fairness=(i % 97) / 97,
+            loss_percent=(i % 13) / 13,
+            buffer_occupancy_percent=float(i % 50),
+            utilization_percent=50.0 + (i % 50),
+            jitter_ms=float(i % 7),
+        )
+        rows.append((f"bench-key-{i:05d}", metrics, meta))
+    return rows
+
+
+def test_perf_store_backends(benchmark, tmp_path):
+    rows = _synthetic_rows()
+    paths = {
+        "jsonl": tmp_path / "bench.jsonl",
+        "sharded": tmp_path / "bench.shards",
+        "sqlite": tmp_path / "bench.sqlite",
+    }
+    per_backend: dict[str, dict] = {}
+    query_answers: dict[str, int] = {}
+
+    for kind in BACKEND_KINDS:
+        # Cold write: N_ROWS puts to an empty store (fsync off so the
+        # numbers compare append strategies, not tmpfs flush behaviour).
+        store = SweepStore(paths[kind], backend=kind, fsync=False)
+        start = time.perf_counter()
+        for key, metrics, meta in rows:
+            store.put(key, metrics, meta=meta)
+        write_s = time.perf_counter() - start
+        store.close()
+
+        # Warm load: reopen replays/queries the persisted records.
+        start = time.perf_counter()
+        warm = SweepStore(paths[kind], backend=kind, fsync=False)
+        n_loaded = len(warm)
+        load_s = time.perf_counter() - start
+        assert n_loaded == N_ROWS
+
+        # Axis query latency: one indexed axis + one equality filter.
+        start = time.perf_counter()
+        for _ in range(QUERY_REPEATS):
+            hits = warm.select(mix="BBRv1", discipline="red")
+        query_s = (time.perf_counter() - start) / QUERY_REPEATS
+        query_answers[kind] = len(hits)
+        warm.close()
+
+        per_backend[kind] = {
+            "cold_write_s": round(write_s, 4),
+            "warm_load_s": round(load_s, 4),
+            "axis_query_ms": round(query_s * 1e3, 3),
+        }
+
+    # Every backend must answer the axis query identically.
+    assert len(set(query_answers.values())) == 1, query_answers
+
+    benchmark.pedantic(
+        lambda: SweepStore(paths["sqlite"], backend="sqlite").select(mix="BBRv1"),
+        rounds=3,
+        iterations=1,
+    )
+
+    _update_results(
+        {
+            "backends": {
+                "rows": N_ROWS,
+                "query": {"mix": "BBRv1", "discipline": "red", "hits": query_answers["jsonl"]},
+                **per_backend,
+            }
+        }
+    )
+
+    print(f"\nStore backends ({N_ROWS} synthetic records):")
+    for kind in BACKEND_KINDS:
+        stats = per_backend[kind]
+        print(
+            f"  {kind:8s} write {stats['cold_write_s']:7.3f} s   "
+            f"load {stats['warm_load_s']:7.3f} s   "
+            f"query {stats['axis_query_ms']:7.3f} ms"
+        )

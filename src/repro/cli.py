@@ -7,6 +7,9 @@ Examples::
     repro-bbr sweep --substrate emulation --seeds 5 --store results.jsonl
     repro-bbr figure fig06_fairness --seeds 3 --csv fig06.csv
     repro-bbr campaign --store results.jsonl --seeds 5 --workers 4
+    repro-bbr campaign --store results.sqlite --workers 4 --skip-failures --retries 1
+    repro-bbr campaign --store sharded:results.shards --heartbeat-s 30
+    repro-bbr campaign --preset examples/presets/emulation-grid.yaml
     repro-bbr topology --preset parking-lot --hops 3
     repro-bbr topology --preset parking-lot --hops 3 --hop-capacities 100,50,25
     repro-bbr sweep --topology parking-lot --hops 3 --mixes BBRv1
@@ -22,6 +25,16 @@ Examples::
 reports mean ± 95% CI per point; ``--store PATH`` (or the ``REPRO_STORE``
 environment variable) persists each completed point immediately, so an
 interrupted sweep or campaign resumes without recomputing finished points.
+The store backend (single-file JSON lines, sharded JSON lines, or SQLite)
+is inferred from the path or forced with ``--backend``/a ``backend:``
+prefix.  ``campaign`` adds the service-grade executor policy
+(``--retries/--timeout-s/--backoff-s/--heartbeat-s/--skip-failures``):
+with ``--skip-failures``, points that exhaust their retries are recorded
+as structured failure rows, the rest of the grid completes, and the exit
+code is 1; ``--no-retry-failed`` serves those rows from the store on warm
+re-runs instead of recomputing them.  ``--preset FILE`` loads the whole
+campaign definition from a YAML preset (see
+:mod:`repro.experiments.presets`), with explicit flags overriding it.
 
 ``--arrivals`` switches every grid point from the paper's long-lived flows
 to a churn workload (time-varying flow population):
@@ -54,13 +67,16 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 from pathlib import Path
 
 from . import units
 from .config import ARRIVAL_PROCESSES, SIZE_DISTRIBUTIONS
 from .core.simulator import simulate
 from .emulation.runner import emulate
-from .experiments import figures, report, scenarios, sweep
+from .experiments import figures, presets, report, scenarios, sweep
+from .experiments.backends import BACKENDS
+from .experiments.executor import ExecutorPolicy
 from .experiments.store import resolve_store
 from .metrics.aggregate import aggregate_metrics, link_metrics
 
@@ -87,7 +103,15 @@ def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
         type=str,
         default=None,
         metavar="PATH",
-        help="persistent JSON-lines result store (defaults to $REPRO_STORE)",
+        help="persistent result store (defaults to $REPRO_STORE); the backend "
+        "is inferred from the path unless --backend (or a backend: prefix) "
+        "forces it",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="force the store backend (default: inferred from the path)",
     )
     parser.add_argument(
         "--workers",
@@ -254,9 +278,58 @@ def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
         default=None,
         help="write the raw per-seed rows to this CSV file",
     )
+    parser.add_argument(
+        "--preset",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="load the campaign definition (grid, substrate, seeds, store "
+        "backend, executor policy) from this YAML preset; explicitly passed "
+        "flags override the preset",
+    )
     _add_replication_flags(parser)
     _add_topology_axis_flags(parser)
     _add_churn_axis_flags(parser)
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failing point up to N times with exponential backoff",
+    )
+    parser.add_argument(
+        "--backoff-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="base backoff between retry rounds in seconds (default: 0.5)",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point wall-clock timeout in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="log campaign progress every S seconds",
+    )
+    parser.add_argument(
+        "--skip-failures",
+        action="store_true",
+        help="record points that exhaust their retries as failure rows and "
+        "complete the rest of the grid (exit 1) instead of raising",
+    )
+    parser.add_argument(
+        "--no-retry-failed",
+        action="store_true",
+        help="serve previously recorded failure rows from the store instead "
+        "of recomputing them (warm re-runs recompute nothing)",
+    )
     parser.set_defaults(seeds=5)
 
 
@@ -419,7 +492,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             workers=args.workers,
             seeds=args.seeds,
-            store=args.store,
+            store=resolve_store(args.store, backend=args.backend),
             topology=args.topology,
             hops=args.hops,
             cross_flows=args.cross_flows,
@@ -484,7 +557,7 @@ def _run_figure(args: argparse.Namespace) -> int:
         short_rtt=args.short_rtt,
         workers=args.workers,
         seeds=args.seeds,
-        store=args.store,
+        store=resolve_store(args.store, backend=args.backend),
     )
     rows = _figure_rows(args.name, metric, data)
     if not rows:
@@ -502,15 +575,100 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_campaign_preset(args: argparse.Namespace) -> presets.CampaignPreset:
+    """Merge a ``--preset`` file into the parsed args (explicit flags win).
+
+    A flag counts as explicitly passed when it appears in the raw argv
+    (stashed by :func:`main`) — so ``--substrate emulation`` overrides a
+    preset's ``substrate: fluid`` even though emulation is the parser
+    default.  Without the argv stash (programmatic callers building their
+    own namespace) the merge falls back to diffing against the parser
+    defaults, where a flag passed *at* its default lets the preset win.
+    """
+    preset = presets.load_preset(args.preset)
+    explicit = {
+        token[2:].split("=", 1)[0].replace("-", "_")
+        for token in getattr(args, "_argv", None) or []
+        if token.startswith("--")
+    }
+    defaults = build_parser().parse_args(["campaign"])
+    merges = [
+        ("substrate", preset.substrate),
+        ("seeds", preset.seeds),
+        ("duration", preset.duration_s),
+        ("short_rtt", preset.short_rtt),
+        ("mixes", preset.mixes),
+        ("buffers", preset.buffers_bdp),
+        ("disciplines", preset.disciplines),
+        ("topology", preset.topology),
+        ("hops", preset.hops),
+        ("cross_flows", preset.cross_flows),
+        ("hop_capacities", preset.hop_capacities),
+        ("hop_delays", preset.hop_delays),
+        ("hop_disciplines", preset.hop_disciplines),
+        ("arrivals", preset.arrivals),
+        ("flow_size_dist", preset.flow_size_dist),
+        ("load", preset.load),
+        ("flows", preset.flows),
+    ]
+    for flag, value in merges:
+        if (
+            value is not None
+            and flag not in explicit
+            and getattr(args, flag) == getattr(defaults, flag)
+        ):
+            setattr(args, flag, value)
+    return preset
+
+
+def _campaign_policy(
+    args: argparse.Namespace, preset: presets.CampaignPreset | None
+) -> ExecutorPolicy:
+    """The effective executor policy: preset base, explicit flags override."""
+    base = preset.executor if preset is not None else ExecutorPolicy()
+    return replace(
+        base,
+        workers=args.workers if args.workers is not None else base.workers,
+        retries=args.retries if args.retries is not None else base.retries,
+        backoff_s=args.backoff_s if args.backoff_s is not None else base.backoff_s,
+        timeout_s=args.timeout_s if args.timeout_s is not None else base.timeout_s,
+        on_failure="skip" if args.skip_failures else base.on_failure,
+        heartbeat_s=(
+            args.heartbeat_s if args.heartbeat_s is not None else base.heartbeat_s
+        ),
+    )
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
+    preset = None
+    if args.preset:
+        try:
+            preset = _apply_campaign_preset(args)
+        except presets.PresetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         hop_capacities, hop_delays, hop_disciplines = _parse_hop_axis(
             args, args.topology
         )
+        policy = _campaign_policy(args, preset)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    store = resolve_store(args.store)
+    retry_failed = not args.no_retry_failed and (
+        preset.retry_failed if preset is not None else True
+    )
+    store_spec = args.store
+    backend = args.backend
+    fsync = True
+    if preset is not None and store_spec is None:
+        # An explicit --store replaces the preset's store wholesale: its
+        # backend then comes from --backend or path inference, never from
+        # the preset (which described a different file).
+        store_spec = preset.store_path
+        backend = backend if backend is not None else preset.store_backend
+        fsync = preset.store_fsync
+    store = resolve_store(store_spec, backend=backend, fsync=fsync)
     if store is None:
         print(
             "warning: no --store/REPRO_STORE configured; campaign results will "
@@ -518,14 +676,13 @@ def _run_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     try:
-        points = sweep.run_sweep(
+        result = sweep.run_campaign(
             mixes=args.mixes,
             buffers_bdp=args.buffers,
             disciplines=args.disciplines,
             substrate=args.substrate,
             short_rtt=args.short_rtt,
             duration_s=args.duration,
-            workers=args.workers,
             seeds=args.seeds,
             store=store,
             topology=args.topology,
@@ -538,20 +695,27 @@ def _run_campaign(args: argparse.Namespace) -> int:
             flow_size_dist=args.flow_size_dist,
             load=args.load,
             flows=args.flows,
+            executor=policy,
+            retry_failed=retry_failed,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except sweep.SweepPointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    points, failures = result.points, result.failures
     rows = [point.row() for point in points]
-    if not rows:
+    if not rows and not failures:
         print(
             "campaign produced no points; check --mixes/--buffers/--disciplines",
             file=sys.stderr,
         )
         return 1
-    display = _summary_display_rows(points)
-    print(report.format_table(list(display[0].keys()), [list(r.values()) for r in display]))
-    if args.csv:
+    if rows:
+        display = _summary_display_rows(points)
+        print(report.format_table(list(display[0].keys()), [list(r.values()) for r in display]))
+    if args.csv and rows:
         path = report.write_csv(args.csv, rows)
         print(f"wrote {path}")
     if args.per_seed_csv:
@@ -640,12 +804,25 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 for discipline in export_disciplines
                 for mix in args.mixes
                 for buffer_bdp in args.buffers
-                for seed in range(1, args.seeds + 1)
+                for seed in sweep._seed_list(args.seeds)
             ]
         path = report.write_csv(args.per_seed_csv, per_seed)
         print(f"wrote {path}")
     if store is not None:
         print(f"store: {store.path} ({len(store)} points)")
+    if failures:
+        # The grid completed; report what the executor gave up on and exit
+        # nonzero so CI/schedulers notice without losing the finished work.
+        failure_rows = [f.row() for f in failures]
+        print(f"{len(failures)} point(s) failed:", file=sys.stderr)
+        print(
+            report.format_table(
+                list(failure_rows[0].keys()),
+                [list(r.values()) for r in failure_rows],
+            ),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -798,7 +975,9 @@ def _run_theorems(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw)
+    args._argv = raw  # lets --preset merging see which flags were passed
     handlers = {
         "trace": _run_trace,
         "sweep": _run_sweep,

@@ -21,10 +21,17 @@ invariant three ways:
   probe table must grow with the config layer, so new fields cannot dodge
   the check by being unprobeable.
 * ``CACHE004`` — **schema drift**: the hashed-field set (config fields +
-  key/meta parameters) is fingerprinted into the committed
-  ``schema_fingerprint.json``; any drift without a matching
+  key/meta parameters + campaign-preset fields) is fingerprinted into the
+  committed ``schema_fingerprint.json``; any drift without a matching
   ``SCHEMA_VERSION`` bump (and fingerprint regeneration via ``repro-bbr
   check --update-schema-fingerprint``) is flagged.
+* ``CACHE005`` — **preset coverage**: every
+  :class:`~repro.experiments.presets.CampaignPreset` field must either be
+  a declared execution-machinery field
+  (:data:`~repro.experiments.presets.PRESET_EXECUTION_FIELDS`) or reach
+  ``sweep._cache_key`` under its (aliased) parameter name — a preset knob
+  that steers the scenario but not the key would alias different
+  campaigns onto shared store records.
 
 All entry points take the functions/classes under test as parameters so the
 test suite can probe synthetic configs and deliberately broken key
@@ -48,8 +55,9 @@ from ..config import (
     ScenarioConfig,
     TopologyConfig,
 )
-from ..experiments import sweep as sweep_mod
+from ..experiments import presets as presets_mod
 from ..experiments import store as store_mod
+from ..experiments import sweep as sweep_mod
 from ..topology import parking_lot
 from .base import CheckContext
 from .findings import Finding
@@ -77,6 +85,15 @@ EXECUTION_PARAMS: dict[str, str] = {
     "store": "which store file to persist into; no effect on results",
     "seeds": "replication axis — expands into per-seed points keyed by 'seed'",
     "workers": "process-pool width; no effect on results",
+    "executor": (
+        "executor policy (pool width, retries, backoff, timeouts, heartbeat, "
+        "on_failure); retries recompute the same scenario, so no effect on "
+        "results"
+    ),
+    "retry_failed": (
+        "resume behaviour for recorded failure rows (recompute vs re-report); "
+        "never changes what a successful point computes"
+    ),
 }
 
 #: Plural grid axes of ``run_sweep`` and the per-point parameter each
@@ -417,10 +434,49 @@ def check_axis_coverage(
     return findings
 
 
+def check_preset_coverage(
+    preset_cls: type = presets_mod.CampaignPreset,
+    key_fn: Callable[..., tuple] = sweep_mod._cache_key,
+    execution_fields: frozenset[str] = presets_mod.PRESET_EXECUTION_FIELDS,
+    aliases: Mapping[str, str] = SWEEP_AXIS_ALIASES,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Every scenario-shaping campaign-preset field must reach the cache key."""
+    findings: list[Finding] = []
+    key_params = set(inspect.signature(key_fn).parameters)
+    path, line = _key_location(preset_cls)
+    path = _relpath(path, root)
+    for field in dataclasses.fields(preset_cls):
+        if field.name in execution_fields:
+            continue
+        param = aliases.get(field.name, field.name)
+        if param not in key_params:
+            findings.append(
+                Finding(
+                    rule="CACHE005",
+                    path=path,
+                    line=line,
+                    message=(
+                        f"{preset_cls.__name__}.{field.name} does not map onto a "
+                        f"{key_fn.__name__}() parameter: a preset declaring it "
+                        "would run scenarios the store cannot tell apart"
+                    ),
+                    hint=(
+                        "thread the field through the cache key (adding an "
+                        "alias to SWEEP_AXIS_ALIASES if the names differ), or "
+                        "declare it in PRESET_EXECUTION_FIELDS if it only "
+                        "steers execution machinery"
+                    ),
+                )
+            )
+    return findings
+
+
 def hashed_field_fingerprint(
     config_classes: Sequence[type] = CONFIG_CLASSES,
     key_fn: Callable[..., tuple] = sweep_mod._cache_key,
     meta_fn: Callable[..., dict] = sweep_mod._store_meta,
+    preset_cls: type = presets_mod.CampaignPreset,
 ) -> str:
     """Stable fingerprint of the hashed-field set (classes + key params)."""
     payload = {
@@ -430,6 +486,10 @@ def hashed_field_fingerprint(
         },
         "cache_key_params": list(inspect.signature(key_fn).parameters),
         "store_meta_params": list(inspect.signature(meta_fn).parameters),
+        # Preset fields ride along so a renamed/added campaign-preset knob
+        # is surfaced as schema drift (CACHE004) and consciously reviewed,
+        # exactly like a new config field.
+        "preset_fields": sorted(f.name for f in dataclasses.fields(preset_cls)),
     }
     return store_mod.stable_hash(payload)
 
@@ -508,12 +568,13 @@ def check_schema_fingerprint(
 
 
 class CacheKeyChecker:
-    """Bundles the three cache-key checks behind the Checker interface."""
+    """Bundles the cache-key checks (CACHE001-005) behind the Checker interface."""
 
     name = "cache-keys"
 
     def run(self, context: CheckContext) -> list[Finding]:
         findings = check_scenario_key_coverage(root=context.root)
         findings += check_axis_coverage(root=context.root)
+        findings += check_preset_coverage(root=context.root)
         findings += check_schema_fingerprint(root=context.root)
         return findings

@@ -1,6 +1,8 @@
 """Reproduction harness: canonical scenarios, sweeps, and per-figure regeneration."""
 
-from . import figures, report, scenarios, sweep
+from . import backends, executor, figures, presets, report, scenarios, sweep
+from .executor import ExecutorPolicy
+from .presets import CampaignPreset, load_preset
 from .scenarios import (
     BUFFER_SWEEP_BDP,
     CCA_MIXES,
@@ -13,13 +15,30 @@ from .scenarios import (
     topology_scenario,
     trace_validation_scenario,
 )
-from .sweep import SweepPoint, run_point, run_sweep, series
+from .sweep import (
+    CampaignFailure,
+    CampaignResult,
+    SweepPoint,
+    run_campaign,
+    run_point,
+    run_sweep,
+    series,
+)
 
 __all__ = [
+    "backends",
+    "executor",
     "figures",
+    "presets",
     "report",
     "scenarios",
     "sweep",
+    "CampaignFailure",
+    "CampaignPreset",
+    "CampaignResult",
+    "ExecutorPolicy",
+    "load_preset",
+    "run_campaign",
     "BUFFER_SWEEP_BDP",
     "CCA_MIXES",
     "DISCIPLINES",

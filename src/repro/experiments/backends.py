@@ -1,0 +1,596 @@
+"""Pluggable storage backends for the campaign result store.
+
+:class:`~repro.experiments.store.SweepStore` fronts one of three
+:class:`StoreBackend` implementations, all persisting the same
+self-describing records (content-addressed ``key``, ``schema``,
+``metrics``, ``meta``; failure records additionally carry ``kind:
+"failure"`` and ``error``):
+
+* :class:`JsonlBackend` — the legacy single-file JSON-lines store, kept
+  bit-compatible with files written before the backend split.  Appends are
+  crash-safe under concurrent writers: each record is serialised to one
+  line and written with a single ``O_APPEND`` :func:`os.write` (plus an
+  optional fsync), so two appenders can never interleave *within* a
+  record — at worst a crash leaves one torn tail line, which the loader
+  tolerates.
+* :class:`ShardedJsonlBackend` — a directory of JSON-lines shards.  Keys
+  are hash-routed to a fixed shard, so a given key always lands in the
+  same file and last-write-wins stays well-defined under N concurrent
+  writer processes (each append is the same atomic ``O_APPEND`` write;
+  writers on different keys mostly touch different shards, so appender
+  contention spreads out).  :meth:`compact` rewrites every shard with only
+  the surviving records (last write wins; stale-schema rows and superseded
+  failures dropped).
+* :class:`SqliteBackend` — a SQLite database in WAL mode with a busy
+  timeout, safe for concurrent writer processes.  ``put`` is an UPSERT on
+  the key; the common sweep axes (mix, buffer, discipline, substrate,
+  seed, topology, arrivals, ...) are extracted from ``meta`` into indexed
+  columns, so :meth:`select` answers axis queries with an index scan
+  instead of re-parsing every stored record.
+
+All three share one query API — ``select(**axis_filters)`` returning full
+records whose ``meta`` matches every filter (``filter=None`` matches
+records lacking the field) — which backs ``SweepStore.rows()``, the
+campaign per-seed CSV export, and the figure pipeline.
+
+Compaction (`compact()`) assumes no concurrent writers; run it between
+campaigns, not during one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from abc import ABC, abstractmethod
+from collections.abc import Iterator, Mapping
+from hashlib import sha256
+from pathlib import Path
+from typing import Any
+
+#: ``kind`` of a failure record; result records carry no ``kind`` field so
+#: the single-file backend stays bit-compatible with pre-backend stores.
+FAILURE_KIND = "failure"
+
+#: Shard-file count of the sharded backend (shard of a key = sha256 mod N).
+DEFAULT_NUM_SHARDS = 16
+
+#: Filename pattern of the sharded backend's shard files.
+SHARD_PATTERN = "shard-{:02d}.jsonl"
+
+
+def encode_record(record: Mapping[str, Any]) -> str:
+    """Serialise one record to its canonical JSON line (sorted keys)."""
+    return json.dumps(record, sort_keys=True) + "\n"
+
+
+def atomic_append(path: Path, line: str, fsync: bool = True) -> None:
+    """Append one record line with a single ``O_APPEND`` write.
+
+    A single :func:`os.write` on an ``O_APPEND`` descriptor is atomic with
+    respect to other appenders on POSIX regular files, so concurrent
+    writers cannot interleave within a record.  A crash mid-write leaves
+    at most one torn tail line, which :func:`iter_jsonl_records` skips.
+    ``fsync=False`` trades durability of the last few records for append
+    throughput (the OS still orders the appends).
+    """
+    data = line.encode()
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        written = os.write(fd, data)
+        while written < len(data):  # pragma: no cover - signals/ENOSPC only
+            written += os.write(fd, data[written:])
+        if fsync:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _heal_torn_tail(path: Path) -> None:
+    """Terminate an unterminated last line left by a crashed writer.
+
+    A writer that died mid-:func:`atomic_append` leaves a partial record
+    with no trailing newline.  Readers skip the undecodable line, but a
+    later append would glue its record onto the fragment and lose it.
+    Appending a bare newline at load time fences the torn fragment into
+    its own (skipped) line so subsequent appends start fresh.
+    """
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return
+    if size == 0:
+        return
+    with path.open("rb") as handle:
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) != b"\n":
+            atomic_append(path, "\n", fsync=False)
+
+
+def iter_jsonl_records(path: Path) -> Iterator[dict[str, Any]]:
+    """Yield parsed records from one JSON-lines file, skipping torn lines."""
+    if not path.exists():
+        return
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # tolerate a torn tail line from a crashed writer
+            if isinstance(record, dict):
+                yield record
+
+
+def shard_of(key: str, num_shards: int = DEFAULT_NUM_SHARDS) -> int:
+    """Stable shard index of a key (platform-independent, unsalted)."""
+    return int.from_bytes(sha256(key.encode()).digest()[:4], "big") % num_shards
+
+
+def _matches(meta: Mapping[str, Any], filters: Mapping[str, Any]) -> bool:
+    return all(meta.get(name) == value for name, value in filters.items())
+
+
+class StoreBackend(ABC):
+    """Persistence strategy behind :class:`~repro.experiments.store.SweepStore`.
+
+    A backend stores two record families keyed by the content-addressed
+    scenario key: *results* (completed points) and *failures* (points the
+    executor gave up on, with the offending axis combo and error).  A
+    result write supersedes any recorded failure under the same key.
+    Only records of the current ``schema_version`` are served.
+    """
+
+    #: Short name used by the CLI/preset ``backend`` selector.
+    kind: str
+
+    def __init__(self, path: Path, schema_version: int) -> None:
+        self.path = Path(path)
+        self.schema_version = schema_version
+
+    @abstractmethod
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The current-schema result record under ``key`` (or ``None``)."""
+
+    @abstractmethod
+    def put(self, record: Mapping[str, Any]) -> None:
+        """Persist one result record immediately (clears any failure)."""
+
+    @abstractmethod
+    def put_failure(self, record: Mapping[str, Any]) -> None:
+        """Persist one failure record (superseded by a later result)."""
+
+    @abstractmethod
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Iterate over all current-schema result records."""
+
+    @abstractmethod
+    def failures(self) -> list[dict[str, Any]]:
+        """All current-schema failure records not superseded by a result."""
+
+    @abstractmethod
+    def select(self, **filters: Any) -> list[dict[str, Any]]:
+        """Result records whose ``meta`` matches every filter."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of current-schema result records."""
+
+    @abstractmethod
+    def __contains__(self, key: str) -> bool:
+        """Whether a current-schema result record exists under ``key``."""
+
+    @abstractmethod
+    def compact(self) -> None:
+        """Drop stale/superseded records from disk (requires no writers)."""
+
+    def close(self) -> None:
+        """Release any held resources (no-op for file backends)."""
+
+
+class _IndexedJsonlBackend(StoreBackend):
+    """Shared in-memory index + record routing of the JSON-lines backends."""
+
+    def __init__(self, path: Path, schema_version: int, fsync: bool = True) -> None:
+        super().__init__(path, schema_version)
+        self.fsync = fsync
+        self._index: dict[str, dict[str, Any]] = {}
+        self._failures: dict[str, dict[str, Any]] = {}
+        self._load()
+
+    @abstractmethod
+    def _files(self) -> list[Path]:
+        """The JSON-lines files holding this store, in load order."""
+
+    @abstractmethod
+    def _file_for(self, key: str) -> Path:
+        """The file new records under ``key`` are appended to."""
+
+    def _load(self) -> None:
+        for path in self._files():
+            _heal_torn_tail(path)
+            for record in iter_jsonl_records(path):
+                self._apply(record)
+
+    def _apply(self, record: dict[str, Any]) -> None:
+        """Replay one persisted record into the in-memory index."""
+        if record.get("schema") != self.schema_version:
+            return
+        key = record.get("key")
+        if not isinstance(key, str):
+            return
+        if record.get("kind") == FAILURE_KIND:
+            # A failure never shadows a completed result for the same key
+            # (a late failure line can appear after the result that
+            # superseded an earlier one when two campaigns interleave).
+            if key not in self._index:
+                self._failures[key] = record
+        else:
+            # A completed result supersedes any recorded failure.
+            self._index[key] = record
+            self._failures.pop(key, None)
+
+    def _append(self, record: Mapping[str, Any]) -> None:
+        path = self._file_for(record["key"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_append(path, encode_record(record), fsync=self.fsync)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        return self._index.get(key)
+
+    def put(self, record: Mapping[str, Any]) -> None:
+        record = dict(record)
+        self._append(record)
+        self._index[record["key"]] = record
+        self._failures.pop(record["key"], None)
+
+    def put_failure(self, record: Mapping[str, Any]) -> None:
+        record = dict(record)
+        self._append(record)
+        if record["key"] not in self._index:
+            self._failures[record["key"]] = record
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        return iter(self._index.values())
+
+    def failures(self) -> list[dict[str, Any]]:
+        return list(self._failures.values())
+
+    def select(self, **filters: Any) -> list[dict[str, Any]]:
+        return [
+            record
+            for record in self._index.values()
+            if _matches(record.get("meta", {}), filters)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def _survivors_for(self, path: Path) -> list[dict[str, Any]]:
+        """The current records that belong in one file after compaction."""
+        return [
+            record
+            for source in (self._index, self._failures)
+            for record in source.values()
+            if self._file_for(record["key"]) == path
+        ]
+
+    def compact(self) -> None:
+        for path in self._files():
+            survivors = self._survivors_for(path)
+            tmp = path.with_suffix(path.suffix + ".compact")
+            with tmp.open("w") as handle:
+                for record in survivors:
+                    handle.write(encode_record(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+
+
+class JsonlBackend(_IndexedJsonlBackend):
+    """The legacy single-file JSON-lines store (bit-compatible)."""
+
+    kind = "jsonl"
+
+    def _files(self) -> list[Path]:
+        return [self.path]
+
+    def _file_for(self, key: str) -> Path:
+        return self.path
+
+    def compact(self) -> None:
+        if self.path.exists() or self._index or self._failures:
+            super().compact()
+
+
+class ShardedJsonlBackend(_IndexedJsonlBackend):
+    """A directory of JSON-lines shards with hash-routed keys.
+
+    ``path`` is a directory holding ``shard-XX.jsonl`` files.  A key's
+    records always land in the same shard, so last-write-wins ordering is
+    the append order of that one file even with many writer processes.
+    """
+
+    kind = "sharded"
+
+    def __init__(
+        self,
+        path: Path,
+        schema_version: int,
+        fsync: bool = True,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+    ) -> None:
+        self.num_shards = num_shards
+        super().__init__(path, schema_version, fsync=fsync)
+
+    def _files(self) -> list[Path]:
+        return [self.path / SHARD_PATTERN.format(i) for i in range(self.num_shards)]
+
+    def _file_for(self, key: str) -> Path:
+        return self.path / SHARD_PATTERN.format(shard_of(key, self.num_shards))
+
+    def compact(self) -> None:
+        if self.path.exists():
+            super().compact()
+
+
+#: ``meta`` fields extracted into indexed SQLite columns.  Everything else
+#: (per-hop lists, churn extras, sampling params) stays queryable through
+#: the JSON ``meta`` blob via the Python fallback filter.
+SQLITE_AXIS_COLUMNS: dict[str, str] = {
+    "mix": "TEXT",
+    "buffer_bdp": "REAL",
+    "discipline": "TEXT",
+    "substrate": "TEXT",
+    "seed": "INTEGER",
+    "short_rtt": "INTEGER",
+    "duration_s": "REAL",
+    "topology": "TEXT",
+    "arrivals": "TEXT",
+}
+
+
+class SqliteBackend(StoreBackend):
+    """SQLite store: WAL mode, UPSERT on key, indexed axis columns."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: Path, schema_version: int, fsync: bool = True) -> None:
+        super().__init__(path, schema_version)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        # NORMAL still syncs the WAL at checkpoints; FULL syncs every commit
+        # (the analogue of the JSON-lines backends' per-record fsync).
+        self._conn.execute(f"PRAGMA synchronous={'FULL' if fsync else 'NORMAL'}")
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        columns = ", ".join(
+            f"{name} {sqltype}" for name, sqltype in SQLITE_AXIS_COLUMNS.items()
+        )
+        self._conn.execute(
+            f"""CREATE TABLE IF NOT EXISTS results (
+                key TEXT PRIMARY KEY,
+                schema INTEGER NOT NULL,
+                metrics TEXT NOT NULL,
+                meta TEXT NOT NULL,
+                {columns}
+            )"""
+        )
+        self._conn.execute(
+            """CREATE TABLE IF NOT EXISTS failures (
+                key TEXT PRIMARY KEY,
+                schema INTEGER NOT NULL,
+                error TEXT NOT NULL,
+                meta TEXT NOT NULL
+            )"""
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_results_axes ON results "
+            "(schema, substrate, mix, discipline, buffer_bdp, seed)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_results_topology ON results (topology)"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_results_arrivals ON results (arrivals)"
+        )
+
+    @staticmethod
+    def _column_value(value: Any) -> Any:
+        if isinstance(value, bool):
+            return int(value)
+        return value
+
+    def _row_to_record(self, row: sqlite3.Row) -> dict[str, Any]:
+        return {
+            "schema": row["schema"],
+            "key": row["key"],
+            "metrics": json.loads(row["metrics"]),
+            "meta": json.loads(row["meta"]),
+        }
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        row = self._conn.execute(
+            "SELECT * FROM results WHERE key = ? AND schema = ?",
+            (key, self.schema_version),
+        ).fetchone()
+        return None if row is None else self._row_to_record(row)
+
+    def put(self, record: Mapping[str, Any]) -> None:
+        meta = record.get("meta", {})
+        axis_names = list(SQLITE_AXIS_COLUMNS)
+        columns = ["key", "schema", "metrics", "meta", *axis_names]
+        values = [
+            record["key"],
+            record["schema"],
+            json.dumps(record["metrics"], sort_keys=True),
+            json.dumps(meta, sort_keys=True),
+            *(self._column_value(meta.get(name)) for name in axis_names),
+        ]
+        assignments = ", ".join(f"{c} = excluded.{c}" for c in columns if c != "key")
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute(
+                f"INSERT INTO results ({', '.join(columns)}) "
+                f"VALUES ({', '.join('?' for _ in columns)}) "
+                f"ON CONFLICT(key) DO UPDATE SET {assignments}",
+                values,
+            )
+            self._conn.execute("DELETE FROM failures WHERE key = ?", (record["key"],))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    def put_failure(self, record: Mapping[str, Any]) -> None:
+        self._conn.execute(
+            "INSERT INTO failures (key, schema, error, meta) VALUES (?, ?, ?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET "
+            "schema = excluded.schema, error = excluded.error, meta = excluded.meta",
+            (
+                record["key"],
+                record["schema"],
+                record.get("error", ""),
+                json.dumps(record.get("meta", {}), sort_keys=True),
+            ),
+        )
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT * FROM results WHERE schema = ? ORDER BY rowid",
+            (self.schema_version,),
+        )
+        return (self._row_to_record(row) for row in rows)
+
+    def failures(self) -> list[dict[str, Any]]:
+        rows = self._conn.execute(
+            "SELECT * FROM failures WHERE schema = ? "
+            "AND key NOT IN (SELECT key FROM results WHERE schema = ?)",
+            (self.schema_version, self.schema_version),
+        )
+        return [
+            {
+                "schema": row["schema"],
+                "key": row["key"],
+                "kind": FAILURE_KIND,
+                "error": row["error"],
+                "meta": json.loads(row["meta"]),
+            }
+            for row in rows
+        ]
+
+    def select(self, **filters: Any) -> list[dict[str, Any]]:
+        clauses = ["schema = ?"]
+        params: list[Any] = [self.schema_version]
+        residual: dict[str, Any] = {}
+        for name, value in filters.items():
+            if name not in SQLITE_AXIS_COLUMNS:
+                residual[name] = value
+            elif value is None:
+                # ``meta`` lacking the field and ``meta[field] is None``
+                # both land as NULL columns, matching dict.get semantics.
+                clauses.append(f"{name} IS NULL")
+            else:
+                clauses.append(f"{name} = ?")
+                params.append(self._column_value(value))
+        rows = self._conn.execute(
+            f"SELECT * FROM results WHERE {' AND '.join(clauses)} ORDER BY rowid",
+            params,
+        )
+        records = (self._row_to_record(row) for row in rows)
+        if not residual:
+            return list(records)
+        return [r for r in records if _matches(r.get("meta", {}), residual)]
+
+    def __len__(self) -> int:
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM results WHERE schema = ?", (self.schema_version,)
+        ).fetchone()
+        return int(row[0])
+
+    def __contains__(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE key = ? AND schema = ?",
+            (key, self.schema_version),
+        ).fetchone()
+        return row is not None
+
+    def compact(self) -> None:
+        self._conn.execute("DELETE FROM results WHERE schema != ?", (self.schema_version,))
+        self._conn.execute("DELETE FROM failures WHERE schema != ?", (self.schema_version,))
+        self._conn.execute(
+            "DELETE FROM failures WHERE key IN "
+            "(SELECT key FROM results WHERE schema = ?)",
+            (self.schema_version,),
+        )
+        self._conn.execute("VACUUM")
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+BACKENDS: dict[str, type[StoreBackend]] = {
+    backend.kind: backend
+    for backend in (JsonlBackend, ShardedJsonlBackend, SqliteBackend)
+}
+
+#: Path suffixes implying the SQLite backend.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+
+def split_backend_spec(spec: str) -> tuple[str | None, str]:
+    """Split an explicit ``backend:path`` store spec (``"sqlite:res.db"``)."""
+    head, sep, tail = spec.partition(":")
+    if sep and head in BACKENDS:
+        return head, tail
+    return None, spec
+
+
+def infer_backend(path: Path) -> str:
+    """Pick a backend from a bare path (suffix / directory heuristics)."""
+    if path.suffix in SQLITE_SUFFIXES:
+        return "sqlite"
+    if path.suffix == ".shards" or path.is_dir():
+        return "sharded"
+    return "jsonl"
+
+
+def make_backend(
+    path: str | Path,
+    schema_version: int,
+    backend: str | None = None,
+    fsync: bool = True,
+) -> StoreBackend:
+    """Build the backend for a store path.
+
+    ``backend`` forces a kind (``"jsonl"``/``"sharded"``/``"sqlite"``);
+    string paths may carry the same prefix (``"sqlite:results.db"``,
+    usable via ``--store`` and ``REPRO_STORE``).  Bare paths infer from
+    the suffix: ``.sqlite``/``.sqlite3``/``.db`` → SQLite, ``.shards`` or
+    an existing directory → sharded, anything else → the legacy
+    single-file JSON-lines store.
+    """
+    if isinstance(path, str):
+        prefix, path = split_backend_spec(path)
+        if prefix is not None:
+            if backend is not None and backend != prefix:
+                raise ValueError(
+                    f"store spec {prefix}:{path} conflicts with backend={backend!r}"
+                )
+            backend = prefix
+    path = Path(path)
+    kind = backend if backend is not None else infer_backend(path)
+    if kind not in BACKENDS:
+        raise ValueError(
+            f"unknown store backend {kind!r}; expected one of {sorted(BACKENDS)}"
+        )
+    return BACKENDS[kind](path, schema_version, fsync=fsync)

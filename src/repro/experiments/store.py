@@ -13,14 +13,25 @@ determines its result:
 * and :data:`SCHEMA_VERSION`, bumped whenever the simulation code changes
   in a way that invalidates stored results.
 
-The store is an append-only JSON-lines file: one self-describing record per
-point, last-write-wins on key collisions, so interrupted or crashed sweeps
-resume without recomputing finished points and ``--workers N`` process
-pools share completed work across restarts.  Select a store with the
-``REPRO_STORE`` environment variable or the ``--store PATH`` CLI flag::
+Persistence is delegated to a pluggable :class:`StoreBackend`
+(:mod:`repro.experiments.backends`): the legacy single-file JSON-lines
+store (bit-compatible with files written before the backend split), a
+sharded JSON-lines store (hash-routed keys, one shard per key class, safe
+concurrent appenders, ``compact()``), and a SQLite store (WAL mode, UPSERT
+on key, indexed axis columns answering ``select(**axis_filters)`` without
+full scans).  Every record is self-describing and last-write-wins on key
+collisions, so interrupted or crashed sweeps resume without recomputing
+finished points and ``--workers N`` process pools share completed work
+across restarts.  Failed points are recorded as structured *failure* rows
+(axis combo + error) that a later successful run supersedes.
+
+Select a store with the ``REPRO_STORE`` environment variable or the
+``--store PATH`` CLI flag; the backend is inferred from the path (or
+forced with a ``backend:`` prefix / the ``--backend`` flag)::
 
     REPRO_STORE=results.jsonl repro-bbr sweep --substrate emulation --seeds 5
-    repro-bbr campaign --store results.jsonl --seeds 5
+    repro-bbr campaign --store results.sqlite --seeds 5
+    repro-bbr campaign --store sharded:results.shards --workers 8
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import Any
 
 from ..config import ScenarioConfig
 from ..metrics.aggregate import AggregateMetrics
+from .backends import make_backend
 
 #: Bump when simulator/emulator semantics change enough that previously
 #: stored results are no longer comparable with freshly computed ones.
@@ -50,6 +62,8 @@ from ..metrics.aggregate import AggregateMetrics
 #: hash changed, and ``AggregateMetrics`` grew the churn columns (FCT
 #: percentiles, active-set fairness, mean active flows); v3 rows are
 #: skipped on load rather than served without the new columns.
+#: (The PR-8 backend split changed *where* records live, not what they
+#: mean: v4 rows written by the single-file store load unchanged.)
 SCHEMA_VERSION = 4
 
 #: Environment variable naming the default store file.
@@ -98,50 +112,49 @@ def scenario_key(
 
 
 class SweepStore:
-    """An append-only JSON-lines store of computed sweep points.
+    """A persistent store of computed sweep points over a pluggable backend.
 
     Each record carries the content-addressed ``key``, the stored
     :class:`~repro.metrics.aggregate.AggregateMetrics`, and a ``meta``
     mapping of human-readable coordinates (mix, buffer, discipline, seed,
     ...) so per-seed rows are recoverable without re-deriving hashes.
-    ``put`` appends and flushes immediately — every completed point survives
-    a crash of the surrounding sweep.
+    ``put`` persists immediately — every completed point survives a crash
+    of the surrounding sweep — and is safe under concurrent writer
+    processes on all backends.  ``put_failure`` records a point the
+    executor gave up on (axis combo + error); a later successful ``put``
+    under the same key supersedes it.
+
+    ``backend`` selects the storage strategy (``"jsonl"``/``"sharded"``/
+    ``"sqlite"``; default inferred from the path — see
+    :func:`repro.experiments.backends.make_backend`); ``fsync=False``
+    trades tail durability for append throughput.
     """
 
-    def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
-        self._index: dict[str, dict[str, Any]] = {}
+    def __init__(
+        self,
+        path: str | Path,
+        backend: str | None = None,
+        fsync: bool = True,
+    ) -> None:
+        self._backend = make_backend(path, SCHEMA_VERSION, backend=backend, fsync=fsync)
+        self.path = self._backend.path
         self.hits = 0
         self.misses = 0
-        self._load()
 
-    def _load(self) -> None:
-        if not self.path.exists():
-            return
-        with self.path.open() as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # tolerate a torn tail line from a crashed writer
-                if record.get("schema") != SCHEMA_VERSION:
-                    continue
-                key = record.get("key")
-                if isinstance(key, str):
-                    self._index[key] = record
+    @property
+    def backend(self) -> str:
+        """The storage backend kind (``jsonl``/``sharded``/``sqlite``)."""
+        return self._backend.kind
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._backend)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._index
+        return key in self._backend
 
     def get(self, key: str) -> AggregateMetrics | None:
         """Fetch stored metrics by key, counting hits/misses."""
-        record = self._index.get(key)
+        record = self._backend.get(key)
         if record is None:
             self.misses += 1
             return None
@@ -154,23 +167,50 @@ class SweepStore:
         metrics: AggregateMetrics,
         meta: Mapping[str, Any] | None = None,
     ) -> None:
-        """Persist one completed point immediately (append + flush)."""
-        record = {
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "metrics": metrics.as_dict(),
-            "meta": dict(meta) if meta else {},
-        }
-        self._index[key] = record
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        """Persist one completed point immediately."""
+        self._backend.put(
+            {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "metrics": metrics.as_dict(),
+                "meta": dict(meta) if meta else {},
+            }
+        )
+
+    def put_failure(
+        self,
+        key: str,
+        error: str,
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Record one failed point (offending axis combo + error string)."""
+        self._backend.put_failure(
+            {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "kind": "failure",
+                "error": error,
+                "meta": dict(meta) if meta else {},
+            }
+        )
 
     def records(self) -> Iterator[dict[str, Any]]:
         """Iterate over all stored records (e.g. to export per-seed rows)."""
-        return iter(self._index.values())
+        return self._backend.records()
+
+    def failures(self) -> list[dict[str, Any]]:
+        """Failure records not yet superseded by a successful result."""
+        return self._backend.failures()
+
+    def select(self, **filters: Any) -> list[dict[str, Any]]:
+        """Full result records whose ``meta`` matches every filter.
+
+        On the SQLite backend, filters naming indexed axis columns (mix,
+        buffer, discipline, substrate, seed, topology, arrivals, ...) are
+        answered by an index scan; remaining filters apply to the decoded
+        ``meta``.  ``filter=None`` matches records lacking the field.
+        """
+        return self._backend.select(**filters)
 
     def rows(self, **filters: Any) -> list[dict[str, Any]]:
         """Flatten stored records into CSV-friendly rows.
@@ -179,31 +219,44 @@ class SweepStore:
         ``store.rows(mix="BBRv1", discipline="droptail")``.
         """
         out = []
-        for record in self._index.values():
-            meta = record.get("meta", {})
-            if any(meta.get(name) != value for name, value in filters.items()):
-                continue
-            row = dict(meta)
+        for record in self.select(**filters):
+            row = dict(record.get("meta", {}))
             row.update(record["metrics"])
             out.append(row)
         return out
 
+    def compact(self) -> None:
+        """Drop stale-schema and superseded records from disk.
+
+        Requires exclusive access (no concurrent campaign writers).
+        """
+        self._backend.compact()
+
+    def close(self) -> None:
+        """Release backend resources (SQLite connection)."""
+        self._backend.close()
+
 
 def resolve_store(
     store: SweepStore | str | Path | bool | None,
+    backend: str | None = None,
+    fsync: bool = True,
 ) -> SweepStore | None:
     """Coerce a store argument into a :class:`SweepStore` (or ``None``).
 
     ``None`` falls back to the ``REPRO_STORE`` environment variable; when
     that is unset too, persistence is disabled.  ``False`` disables the
     store outright, ignoring the environment — used for process-pool
-    workers, whose results the parent persists centrally.
+    workers, whose results the parent persists centrally.  ``backend``
+    forces the storage backend for path-like arguments (paths may also
+    carry a ``jsonl:``/``sharded:``/``sqlite:`` prefix); ``fsync`` is
+    forwarded to newly opened stores.
     """
     if store is False:
         return None
     if isinstance(store, SweepStore):
         return store
     if store is not None and store is not True:
-        return SweepStore(store)
+        return SweepStore(store, backend=backend, fsync=fsync)
     env = os.environ.get(ENV_VAR)
-    return SweepStore(env) if env else None
+    return SweepStore(env, backend=backend, fsync=fsync) if env else None

@@ -43,8 +43,7 @@ The grid is embarrassingly parallel and is exploited two ways:
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from collections.abc import Iterable, Sequence
 
 from ..config import ARRIVAL_PROCESSES, SIZE_DISTRIBUTIONS
@@ -57,6 +56,7 @@ from ..metrics.aggregate import (
     summarize_metrics,
 )
 from . import scenarios
+from .executor import ExecutorPolicy, PointFailure, ResilientExecutor
 from .store import SweepStore, resolve_store, scenario_key
 
 SUBSTRATES = ("fluid", "emulation")
@@ -73,15 +73,26 @@ DEFAULT_SCHEDULER = "delayline"
 class SweepPointError(RuntimeError):
     """A sweep point failed; carries the failing grid coordinates."""
 
-    def __init__(self, mix: str, buffer_bdp: float, discipline: str, seed: int) -> None:
-        super().__init__(
+    def __init__(
+        self,
+        mix: str,
+        buffer_bdp: float,
+        discipline: str,
+        seed: int,
+        error: str | None = None,
+    ) -> None:
+        message = (
             f"sweep point failed: mix={mix!r}, buffer_bdp={buffer_bdp}, "
             f"discipline={discipline!r}, seed={seed}"
         )
+        if error:
+            message += f": {error}"
+        super().__init__(message)
         self.mix = mix
         self.buffer_bdp = buffer_bdp
         self.discipline = discipline
         self.seed = seed
+        self.error = error
 
 
 @dataclass(frozen=True)
@@ -134,6 +145,44 @@ class SummaryPoint:
         }
         out.update(self.summary.as_dict())
         return out
+
+
+@dataclass(frozen=True)
+class CampaignFailure:
+    """One grid point the executor gave up on (axis combo + error)."""
+
+    mix: str
+    buffer_bdp: float
+    discipline: str
+    substrate: str
+    seed: int
+    error: str
+    attempts: int
+
+    def row(self) -> dict[str, float | str | int]:
+        """Flatten into a CSV-friendly dictionary."""
+        return {
+            "mix": self.mix,
+            "buffer_bdp": self.buffer_bdp,
+            "discipline": self.discipline,
+            "substrate": self.substrate,
+            "seed": self.seed,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The outcome of a campaign grid: completed points + reported failures."""
+
+    points: list[SweepPoint] | list[SummaryPoint]
+    failures: list[CampaignFailure]
+
+    @property
+    def ok(self) -> bool:
+        """True when every grid point completed."""
+        return not self.failures
 
 
 _CACHE: dict[tuple, SweepPoint] = {}
@@ -592,7 +641,7 @@ def run_point(
     return point
 
 
-def run_sweep(
+def _run_grid(
     mixes: Iterable[str] | None = None,
     buffers_bdp: Iterable[float] | None = None,
     disciplines: Iterable[str] | None = None,
@@ -616,41 +665,14 @@ def run_sweep(
     flow_size_dist: str | None = None,
     load: float | None = None,
     flows: int | None = None,
-) -> list[SweepPoint] | list[SummaryPoint]:
-    """Run the full (or a reduced) aggregate-validation sweep.
+    executor: ExecutorPolicy | None = None,
+    retry_failed: bool = True,
+) -> tuple[list[SweepPoint] | list[SummaryPoint], list[CampaignFailure]]:
+    """Shared grid engine behind :func:`run_sweep` and :func:`run_campaign`.
 
-    ``topology`` swaps the scenario family of every grid point from the
-    paper's dumbbell to a multi-bottleneck preset ("parking-lot" or
-    "multi-dumbbell") built with ``hops`` and ``cross_flows``; the (mix,
-    buffer, discipline, seed) grid, the caches and the persistent store all
-    work identically (the store key hashes the full scenario including its
-    topology).  ``hop_capacities``/``hop_delays``/``hop_disciplines`` make
-    every grid point's chain heterogeneous (one value per hop, validated
-    against ``hops`` before any point runs).
-
-    ``seeds`` (an int K or an explicit seed sequence) replicates every grid
-    point across scenario seeds and returns :class:`SummaryPoint` rows with
-    mean/std/95% CI; without it, single-seed :class:`SweepPoint` rows are
-    returned.  The fluid substrate is deterministic, so its seed replicas
-    alias onto a single computation (and a single store record).  ``store``
-    (or the ``REPRO_STORE`` env var) persists each point as soon as it
-    completes, so interrupted sweeps resume without recomputing finished
-    points.
-
-    ``workers=N`` (N > 1) dispatches uncached points to a process pool and
-    collects them with ``as_completed`` (each result is cached and persisted
-    as it lands; a failing point raises :class:`SweepPointError` naming its
-    grid coordinates without discarding completed work).  Otherwise fluid
-    sweeps run batched in-process via
-    :func:`~repro.core.simulator.simulate_many` and emulation sweeps run
-    serially.  Cached points are never re-dispatched.
-
-    ``arrivals`` switches every grid point to a churn workload with
-    ``flows`` flows arriving by the named process at offered load ``load``
-    and ``flow_size_dist`` sizes (see
-    :func:`~repro.experiments.scenarios.churn_scenario`); the grid, the
-    caches and the store keep working identically, and the churn axis rides
-    along in the cache key and the store meta.
+    Returns ``(points, failures)``; in the default ``on_failure="raise"``
+    policy a non-empty failure list raises :class:`SweepPointError` instead
+    of returning, after the rest of the grid has completed and persisted.
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
@@ -755,71 +777,111 @@ def run_sweep(
                 ),
             )
 
-    if pending and workers is not None and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
+    # The executor policy: an explicit ``executor`` wins, with ``workers``
+    # filling its pool size when the policy leaves it unset; the bare
+    # ``workers`` argument is shorthand for a default-policy pool.
+    policy = executor if executor is not None else ExecutorPolicy(workers=workers)
+    if executor is not None and policy.workers is None and workers is not None:
+        policy = replace(policy, workers=workers)
+
+    exec_failures: list[PointFailure] = []
+
+    def point_key(task: tuple) -> str:
+        discipline, mix, buffer_bdp, seed = task
+        config = _point_config(
+            mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+            whi_init_bdp, seed, topology, hops, cross_flows,
+            hop_capacities, hop_delays, hop_disciplines,
+            arrivals, flow_size_dist, load, flows,
+        )
+        return scenario_key(config, substrate, record_interval_s, scheduler)
+
+    # ``retry_failed=False`` resume semantics: points whose last attempt is
+    # recorded as a *failure* row are reported again without recomputation,
+    # so a warm re-run after a partial campaign recomputes nothing.
+    if store is not None and not retry_failed and pending:
+        recorded = {rec["key"]: rec for rec in store.failures()}
+        if recorded:
+            fresh: list[tuple] = []
             for task in pending:
-                discipline, mix, buffer_bdp, seed = task
-                futures[
-                    pool.submit(
-                        run_point,
-                        mix,
-                        buffer_bdp,
-                        discipline,
-                        substrate=substrate,
-                        short_rtt=short_rtt,
-                        duration_s=duration_s,
-                        dt=dt,
-                        whi_init_bdp=whi_init_bdp,
-                        seed=seed,
-                        record_interval_s=record_interval_s,
-                        scheduler=scheduler,
-                        use_cache=False,
-                        # The parent persists centrally; workers must not
-                        # open (or pick up via REPRO_STORE) the store file.
-                        store=False,
-                        topology=topology,
-                        hops=hops,
-                        cross_flows=cross_flows,
-                        hop_capacities=hop_capacities,
-                        hop_delays=hop_delays,
-                        hop_disciplines=hop_disciplines,
-                        arrivals=arrivals,
-                        flow_size_dist=flow_size_dist,
-                        load=load,
-                        flows=flows,
+                record = recorded.get(point_key(task))
+                if record is None:
+                    fresh.append(task)
+                else:
+                    exec_failures.append(
+                        PointFailure(
+                            task=task,
+                            error=str(record.get("error") or "recorded failure"),
+                            attempts=0,
+                        )
                     )
-                ] = task
-            # as_completed + per-point persistence: the full future set is
-            # drained so every completed point is cached and stored even
-            # when another point fails; the first failure is then re-raised
-            # with its grid coordinates.
-            first_failure: tuple[tuple, Exception] | None = None
-            for future in as_completed(futures):
-                task = futures[future]
-                try:
-                    point = future.result()
-                except Exception as exc:
-                    if first_failure is None:
-                        first_failure = (task, exc)
-                    continue
-                persist(task, point)
-            if first_failure is not None:
-                (discipline, mix, buffer_bdp, seed), exc = first_failure
-                raise SweepPointError(mix, buffer_bdp, discipline, seed) from exc
+            pending = fresh
+
+    point_kwargs = {
+        "substrate": substrate,
+        "short_rtt": short_rtt,
+        "duration_s": duration_s,
+        "dt": dt,
+        "whi_init_bdp": whi_init_bdp,
+        "record_interval_s": record_interval_s,
+        "scheduler": scheduler,
+        # The parent owns all cache and store writes; workers must not
+        # open (or pick up via REPRO_STORE) the store file.
+        "use_cache": False,
+        "store": False,
+        "topology": topology,
+        "hops": hops,
+        "cross_flows": cross_flows,
+        "hop_capacities": hop_capacities,
+        "hop_delays": hop_delays,
+        "hop_disciplines": hop_disciplines,
+        "arrivals": arrivals,
+        "flow_size_dist": flow_size_dist,
+        "load": load,
+        "flows": flows,
+    }
+
+    def task_args(task: tuple) -> tuple[tuple, dict]:
+        discipline, mix, buffer_bdp, seed = task
+        return (mix, buffer_bdp, discipline), {**point_kwargs, "seed": seed}
+
+    def describe(task: tuple) -> str:
+        discipline, mix, buffer_bdp, seed = task
+        return (
+            f"mix={mix!r}, buffer_bdp={buffer_bdp}, "
+            f"discipline={discipline!r}, seed={seed}"
+        )
+
+    def execute(batch: list[tuple]) -> None:
+        report = ResilientExecutor(policy).run(
+            batch, run_point, task_args, on_result=persist, describe=describe
+        )
+        exec_failures.extend(report.failures)
+
+    if pending and policy.pooled:
+        execute(pending)
     elif pending and substrate == "fluid":
+        # Batched path: stack the chunk into one lockstep integration (the
+        # big single-core win).  A chunk that fails falls back to per-point
+        # execution under the executor policy, which isolates and reports
+        # the offending point(s) without discarding the healthy ones.
         for chunk_start in range(0, len(pending), BATCH_CHUNK):
             chunk = pending[chunk_start : chunk_start + BATCH_CHUNK]
-            configs = [
-                _point_config(
-                    mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                    whi_init_bdp, seed, topology, hops, cross_flows,
-                    hop_capacities, hop_delays, hop_disciplines,
-                    arrivals, flow_size_dist, load, flows,
-                )
-                for discipline, mix, buffer_bdp, seed in chunk
-            ]
-            for task, trace in zip(chunk, simulate_many(configs), strict=True):
+            try:
+                configs = [
+                    _point_config(
+                        mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+                        whi_init_bdp, seed, topology, hops, cross_flows,
+                        hop_capacities, hop_delays, hop_disciplines,
+                        arrivals, flow_size_dist, load, flows,
+                    )
+                    for discipline, mix, buffer_bdp, seed in chunk
+                ]
+                traces = simulate_many(configs)
+            except Exception:
+                execute(chunk)
+                continue
+            for task, trace in zip(chunk, traces, strict=True):
                 discipline, mix, buffer_bdp, seed = task
                 persist(
                     task,
@@ -832,50 +894,65 @@ def run_sweep(
                         seed=seed,
                     ),
                 )
-    else:
-        # Serial path: compute inline (run_sweep owns all cache and store
-        # writes, so points are not double-persisted through run_point's
-        # own store handling).
-        for task in pending:
-            discipline, mix, buffer_bdp, seed = task
-            try:
-                config = _point_config(
-                    mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                    whi_init_bdp, seed, topology, hops, cross_flows,
-                    hop_capacities, hop_delays, hop_disciplines,
-                    arrivals, flow_size_dist, load, flows,
-                )
-                if substrate == "fluid":
-                    trace = simulate(config)
-                else:
-                    trace = emulate(
-                        config,
-                        record_interval_s=record_interval_s,
-                        scheduler=scheduler,
-                    )
-            except Exception as exc:
-                raise SweepPointError(mix, buffer_bdp, discipline, seed) from exc
-            persist(
-                task,
-                SweepPoint(
-                    mix=mix,
-                    buffer_bdp=buffer_bdp,
-                    discipline=discipline,
-                    substrate=substrate,
-                    metrics=aggregate_metrics(trace),
-                    seed=seed,
-                ),
-            )
+    elif pending:
+        # Serial path: the executor runs each point inline (retries,
+        # timeouts and skip semantics still apply; no pool is spawned).
+        execute(pending)
 
     for task in duplicates:
-        results[task] = _CACHE[task_key(task)]
+        # A duplicate's primary may itself have failed; it then simply has
+        # no result to share.
+        key = task_key(task)
+        if key in _CACHE:
+            results[task] = _CACHE[key]
+
+    failures: list[CampaignFailure] = []
+    for failure in exec_failures:
+        discipline, mix, buffer_bdp, seed = failure.task
+        failures.append(
+            CampaignFailure(
+                mix=mix,
+                buffer_bdp=buffer_bdp,
+                discipline=discipline,
+                substrate=substrate,
+                seed=seed,
+                error=failure.error,
+                attempts=failure.attempts,
+            )
+        )
+        if store is not None and failure.attempts > 0:
+            # Freshly attempted failures are recorded (axis combo + error)
+            # so warm re-runs can skip them; attempts == 0 means the row is
+            # already in the store (served by retry_failed=False above).
+            store.put_failure(
+                point_key(failure.task),
+                failure.error,
+                meta=_store_meta(
+                    mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
+                    dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                    topology, hops, cross_flows,
+                    hop_capacities, hop_delays, hop_disciplines,
+                    arrivals, flow_size_dist, load, flows,
+                ),
+            )
+    if failures and policy.on_failure == "raise":
+        first = failures[0]
+        raise SweepPointError(
+            first.mix, first.buffer_bdp, first.discipline, first.seed,
+            error=first.error,
+        )
 
     if seeds is None:
-        return [results[combo + (1,)] for combo in combos]
+        singles = [results[combo + (1,)] for combo in combos if combo + (1,) in results]
+        return singles, failures
     summaries: list[SummaryPoint] = []
     for combo in combos:
         discipline, mix, buffer_bdp = combo
-        replicas = [results[combo + (seed,)] for seed in seed_list]
+        replicas = [
+            results[combo + (seed,)] for seed in seed_list if combo + (seed,) in results
+        ]
+        if not replicas:
+            continue
         summaries.append(
             SummaryPoint(
                 mix=mix,
@@ -883,10 +960,125 @@ def run_sweep(
                 discipline=discipline,
                 substrate=substrate,
                 summary=summarize_metrics([p.metrics for p in replicas]),
-                seeds=tuple(seed_list),
+                seeds=tuple(s for s in seed_list if combo + (s,) in results),
             )
         )
-    return summaries
+    return summaries, failures
+
+
+def run_sweep(
+    mixes: Iterable[str] | None = None,
+    buffers_bdp: Iterable[float] | None = None,
+    disciplines: Iterable[str] | None = None,
+    substrate: str = "fluid",
+    short_rtt: bool = False,
+    duration_s: float = 5.0,
+    dt: float = scenarios.SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    workers: int | None = None,
+    seeds: int | Sequence[int] | None = None,
+    record_interval_s: float = DEFAULT_RECORD_INTERVAL_S,
+    scheduler: str = DEFAULT_SCHEDULER,
+    store: SweepStore | str | bool | None = None,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
+    executor: ExecutorPolicy | None = None,
+    retry_failed: bool = True,
+) -> list[SweepPoint] | list[SummaryPoint]:
+    """Run the full (or a reduced) aggregate-validation sweep.
+
+    ``topology`` swaps the scenario family of every grid point from the
+    paper's dumbbell to a multi-bottleneck preset ("parking-lot" or
+    "multi-dumbbell") built with ``hops`` and ``cross_flows``; the (mix,
+    buffer, discipline, seed) grid, the caches and the persistent store all
+    work identically (the store key hashes the full scenario including its
+    topology).  ``hop_capacities``/``hop_delays``/``hop_disciplines`` make
+    every grid point's chain heterogeneous (one value per hop, validated
+    against ``hops`` before any point runs).
+
+    ``seeds`` (an int K or an explicit seed sequence) replicates every grid
+    point across scenario seeds and returns :class:`SummaryPoint` rows with
+    mean/std/95% CI; without it, single-seed :class:`SweepPoint` rows are
+    returned.  The fluid substrate is deterministic, so its seed replicas
+    alias onto a single computation (and a single store record).  ``store``
+    (or the ``REPRO_STORE`` env var) persists each point as soon as it
+    completes, so interrupted sweeps resume without recomputing finished
+    points.
+
+    Execution goes through a
+    :class:`~repro.experiments.executor.ResilientExecutor`: ``workers=N``
+    (N > 1) fans uncached points out to a process pool (each result is
+    cached and persisted as it lands), otherwise fluid sweeps run batched
+    in-process via :func:`~repro.core.simulator.simulate_many` and
+    emulation sweeps run serially.  ``executor`` supplies the full policy —
+    per-point retries with backoff, per-point timeouts, heartbeat progress
+    logging, and ``on_failure``: under the default ``"raise"``, a point
+    that exhausts its retries raises :class:`SweepPointError` naming its
+    grid coordinates *after* the rest of the grid has completed and
+    persisted; under ``"skip"``, failed points are recorded in the store as
+    structured failure rows and the sweep returns the completed points (use
+    :func:`run_campaign` to receive the failure report).  With
+    ``retry_failed=False``, a warm re-run serves recorded failures from the
+    store instead of recomputing them.  Cached points are never
+    re-dispatched.
+
+    ``arrivals`` switches every grid point to a churn workload with
+    ``flows`` flows arriving by the named process at offered load ``load``
+    and ``flow_size_dist`` sizes (see
+    :func:`~repro.experiments.scenarios.churn_scenario`); the grid, the
+    caches and the store keep working identically, and the churn axis rides
+    along in the cache key and the store meta.
+    """
+    points, _failures = _run_grid(**locals())
+    return points
+
+
+def run_campaign(
+    mixes: Iterable[str] | None = None,
+    buffers_bdp: Iterable[float] | None = None,
+    disciplines: Iterable[str] | None = None,
+    substrate: str = "fluid",
+    short_rtt: bool = False,
+    duration_s: float = 5.0,
+    dt: float = scenarios.SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    workers: int | None = None,
+    seeds: int | Sequence[int] | None = None,
+    record_interval_s: float = DEFAULT_RECORD_INTERVAL_S,
+    scheduler: str = DEFAULT_SCHEDULER,
+    store: SweepStore | str | bool | None = None,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
+    executor: ExecutorPolicy | None = None,
+    retry_failed: bool = True,
+) -> CampaignResult:
+    """Run a sweep grid and return points *and* structured failures.
+
+    Identical to :func:`run_sweep` (same axes, caches, store and executor
+    policy) but returns a :class:`CampaignResult` whose ``failures`` list
+    reports every grid point the executor gave up on — the service-grade
+    entry point: with ``executor=ExecutorPolicy(on_failure="skip", ...)``
+    a campaign survives crashing or failing points, completes the rest of
+    the grid, and reports what failed instead of raising.
+    """
+    points, failures = _run_grid(**locals())
+    return CampaignResult(points=points, failures=failures)
 
 
 def series(

@@ -258,7 +258,11 @@ class TestEmptyResults:
         assert "no points" in captured.err
 
     def test_campaign_with_no_points_exits_nonzero(self, monkeypatch, capsys):
-        monkeypatch.setattr(sweep_module, "run_sweep", lambda *a, **k: [])
+        monkeypatch.setattr(
+            sweep_module,
+            "run_campaign",
+            lambda *a, **k: sweep_module.CampaignResult(points=[], failures=[]),
+        )
         code = cli.main(["campaign", "--mixes", "BBRv1"])
         captured = capsys.readouterr()
         assert code == 1
