@@ -16,6 +16,11 @@ Examples::
     repro-bbr sweep --topology parking-lot --hops 3 --hop-delays 0.002,0.02,0.002
     repro-bbr sweep --arrivals poisson --flow-size-dist pareto --load 0.5 --flows 100
     repro-bbr campaign --arrivals poisson --flows 1000 --seeds 3 --store churn.jsonl
+    repro-bbr campaign --store results.sqlite --workers 4 --trace spans.jsonl
+    repro-bbr trace export spans.jsonl --chrome
+    repro-bbr store summary results.sqlite
+    repro-bbr status results.sqlite --mixes BBRv1 --seeds 5
+    repro-bbr status --preset examples/presets/fluid-quick.yaml
     repro-bbr theorems
     repro-bbr check
     repro-bbr check --json
@@ -53,6 +58,15 @@ that topology family.  Chains may be heterogeneous:
 ``--hop-capacities``/``--hop-delays``/``--hop-disciplines`` take one
 comma-separated value per hop (validated against ``--hops``).
 
+``campaign --trace FILE`` appends a JSON-lines telemetry span log (spans,
+counters, executor progress — workers included) that ``trace export
+--chrome`` converts for chrome://tracing; tracing never changes results.
+``store summary PATH`` renders row/failure counts, per-axis marginals and
+runtime percentiles of any store backend; ``status STORE`` compares a
+campaign grid (flags or ``--preset``) against the store and reports
+done/failed/remaining (exit 0 only when complete).  ``-v``/``-q`` (or
+``REPRO_LOG_LEVEL``) tune the structured progress logging on stderr.
+
 ``check`` runs the domain static-analysis suite (:mod:`repro.devtools`):
 determinism of the simulation kernels, ``derive_rng`` stream hygiene,
 cache-key completeness by mutation probing, and the unit-suffix
@@ -77,17 +91,50 @@ from .emulation.runner import emulate
 from .experiments import figures, presets, report, scenarios, sweep
 from .experiments.backends import BACKENDS
 from .experiments.executor import ExecutorPolicy
-from .experiments.store import resolve_store
+from .experiments.store import SweepStore, resolve_store
+from .experiments.summary import render_summary, summarize_store
 from .metrics.aggregate import aggregate_metrics, link_metrics
+from .obs import export_chrome
+from .obs import log as obs_log
+
+#: CCAs of the single-flow trace-validation scenarios.
+TRACE_CCAS = ("reno", "cubic", "bbr1", "bbr2")
 
 
 def _add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
-    parser = subparsers.add_parser("trace", help="run a single-flow trace-validation scenario")
-    parser.add_argument("cca", choices=["reno", "cubic", "bbr1", "bbr2"])
-    parser.add_argument("--discipline", choices=list(scenarios.DISCIPLINES), default="droptail")
-    parser.add_argument("--duration", type=float, default=10.0)
-    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
-    parser.add_argument("--buffer-bdp", type=float, default=1.0)
+    parser = subparsers.add_parser(
+        "trace",
+        help="run a single-flow trace-validation scenario, or export a "
+        "telemetry span log",
+    )
+    trace_sub = parser.add_subparsers(dest="trace_command", required=True)
+    for cca in TRACE_CCAS:
+        sub = trace_sub.add_parser(cca, help=f"run the {cca} trace-validation scenario")
+        # ``cca`` is never set by the subparser action itself, so the
+        # legacy ``repro-bbr trace bbr1`` surface keeps parsing unchanged.
+        sub.set_defaults(cca=cca)
+        sub.add_argument("--discipline", choices=list(scenarios.DISCIPLINES), default="droptail")
+        sub.add_argument("--duration", type=float, default=10.0)
+        sub.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
+        sub.add_argument("--buffer-bdp", type=float, default=1.0)
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a --trace span log into another format",
+    )
+    export.add_argument("span_log", metavar="SPANLOG", help="JSON-lines span log written by --trace")
+    export.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit a chrome://tracing / Perfetto trace-event JSON document",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="output path (default: SPANLOG with a .chrome.json suffix)",
+    )
 
 
 def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
@@ -119,6 +166,22 @@ def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="fan uncached sweep points out to N worker processes",
+    )
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """``-v``/``--quiet`` verbosity flags (also honoured before the command)."""
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="log debug-level progress events to stderr",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress logging (errors only)",
     )
 
 
@@ -241,6 +304,7 @@ def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     _add_replication_flags(parser)
     _add_topology_axis_flags(parser)
     _add_churn_axis_flags(parser)
+    _add_logging_flags(parser)
 
 
 def _add_figure_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -330,6 +394,16 @@ def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
         help="serve previously recorded failure rows from the store instead "
         "of recomputing them (warm re-runs recompute nothing)",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="append a JSON-lines telemetry span log (spans, counters, "
+        "executor progress) to FILE; convert it with "
+        "'repro-bbr trace export FILE --chrome'",
+    )
+    _add_logging_flags(parser)
     parser.set_defaults(seeds=5)
 
 
@@ -375,6 +449,76 @@ def _add_topology_parser(subparsers: argparse._SubParsersAction) -> None:
         type=str,
         default=None,
         help="write the per-link and per-flow rows to this CSV file",
+    )
+
+
+def _add_store_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "store",
+        help="inspect a persistent result store without running anything",
+    )
+    store_sub = parser.add_subparsers(dest="store_command", required=True)
+    summary = store_sub.add_parser(
+        "summary",
+        help="row/failure counts, per-axis marginals and runtime percentiles",
+    )
+    summary.add_argument("path", metavar="STORE", help="store path (any backend)")
+    summary.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="force the store backend (default: inferred from the path)",
+    )
+    summary.add_argument(
+        "--json", action="store_true", help="emit the summary as a JSON document"
+    )
+
+
+def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "status",
+        help="report done/failed/remaining points of a campaign grid "
+        "against its store",
+    )
+    parser.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        metavar="STORE",
+        help="store path (defaults to the --preset's store)",
+    )
+    parser.add_argument(
+        "--preset",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="campaign YAML preset defining the grid (and default store)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="force the store backend (default: inferred from the path)",
+    )
+    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="emulation")
+    parser.add_argument(
+        "--buffers", type=float, nargs="+", default=list(scenarios.BUFFER_SWEEP_BDP)
+    )
+    parser.add_argument("--mixes", nargs="+", default=list(scenarios.CCA_MIXES))
+    parser.add_argument("--disciplines", nargs="+", default=list(scenarios.DISCIPLINES))
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument("--short-rtt", action="store_true")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        metavar="K",
+        help="seed replication of the grid being checked (default: 5)",
+    )
+    _add_topology_axis_flags(parser)
+    _add_churn_axis_flags(parser)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the status as a JSON document"
     )
 
 
@@ -427,18 +571,39 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-bbr",
         description="Reproduction of the IMC 2022 BBR fluid-model paper",
     )
+    _add_logging_flags(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_trace_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_campaign_parser(subparsers)
     _add_topology_parser(subparsers)
+    _add_store_parser(subparsers)
+    _add_status_parser(subparsers)
     _add_theorem_parser(subparsers)
     _add_check_parser(subparsers)
     return parser
 
 
+def _run_trace_export(args: argparse.Namespace) -> int:
+    span_log = Path(args.span_log)
+    if not span_log.exists():
+        print(f"error: span log {args.span_log} not found", file=sys.stderr)
+        return 2
+    if not args.chrome:
+        print(
+            "error: select an export format (currently only --chrome)",
+            file=sys.stderr,
+        )
+        return 2
+    count, out_path = export_chrome(span_log, args.output)
+    print(f"wrote {out_path} ({count} trace events)")
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        return _run_trace_export(args)
     # The paper's single-flow trace-validation scenario (Sec. 4.2), matching
     # the help text: 31.2 ms RTT and fair-share initial window for the
     # loss-based CCAs (the fluid models have no slow-start phase).
@@ -575,7 +740,9 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _apply_campaign_preset(args: argparse.Namespace) -> presets.CampaignPreset:
+def _apply_campaign_preset(
+    args: argparse.Namespace, defaults_argv: Sequence[str] = ("campaign",)
+) -> presets.CampaignPreset:
     """Merge a ``--preset`` file into the parsed args (explicit flags win).
 
     A flag counts as explicitly passed when it appears in the raw argv
@@ -584,6 +751,8 @@ def _apply_campaign_preset(args: argparse.Namespace) -> presets.CampaignPreset:
     default.  Without the argv stash (programmatic callers building their
     own namespace) the merge falls back to diffing against the parser
     defaults, where a flag passed *at* its default lets the preset win.
+    ``defaults_argv`` names the subcommand whose parser defaults the diff
+    runs against (``status`` shares the campaign grid axes).
     """
     preset = presets.load_preset(args.preset)
     explicit = {
@@ -591,7 +760,7 @@ def _apply_campaign_preset(args: argparse.Namespace) -> presets.CampaignPreset:
         for token in getattr(args, "_argv", None) or []
         if token.startswith("--")
     }
-    defaults = build_parser().parse_args(["campaign"])
+    defaults = build_parser().parse_args(list(defaults_argv))
     merges = [
         ("substrate", preset.substrate),
         ("seeds", preset.seeds),
@@ -670,10 +839,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
         fsync = preset.store_fsync
     store = resolve_store(store_spec, backend=backend, fsync=fsync)
     if store is None:
-        print(
-            "warning: no --store/REPRO_STORE configured; campaign results will "
+        obs_log.warning(
+            "campaign.store_missing",
+            "no --store/REPRO_STORE configured; campaign results will "
             "not be persisted or resumable",
-            file=sys.stderr,
         )
     try:
         result = sweep.run_campaign(
@@ -697,6 +866,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
             flows=args.flows,
             executor=policy,
             retry_failed=retry_failed,
+            trace=args.trace,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -814,7 +984,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         # The grid completed; report what the executor gave up on and exit
         # nonzero so CI/schedulers notice without losing the finished work.
         failure_rows = [f.row() for f in failures]
-        print(f"{len(failures)} point(s) failed:", file=sys.stderr)
+        obs_log.error("campaign.failures", f"{len(failures)} point(s) failed:")
         print(
             report.format_table(
                 list(failure_rows[0].keys()),
@@ -901,6 +1071,139 @@ def _run_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_existing_store(spec: str, backend: str | None) -> SweepStore:
+    """Open a store for read-only introspection; refuse to create one.
+
+    Opening a missing path would silently create an empty store (SQLite
+    even writes a file), which turns a typo into "0 results".
+    """
+    raw = spec
+    for prefix in BACKENDS:
+        if raw.startswith(f"{prefix}:"):
+            raw = raw[len(prefix) + 1 :]
+            break
+    if not Path(raw).exists():
+        raise FileNotFoundError(f"store {raw} not found")
+    return SweepStore(spec, backend=backend)
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    try:
+        store = _open_existing_store(args.path, args.backend)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        summary = summarize_store(store)
+    finally:
+        store.close()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def _run_status(args: argparse.Namespace) -> int:
+    preset = None
+    if args.preset:
+        try:
+            preset = _apply_campaign_preset(args, defaults_argv=("status",))
+        except presets.PresetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    store_spec = args.store
+    backend = args.backend
+    if preset is not None and store_spec is None:
+        store_spec = preset.store_path
+        backend = backend if backend is not None else preset.store_backend
+    if store_spec is None:
+        print(
+            "error: no store to check; pass STORE or a --preset naming one",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        hop_capacities, hop_delays, hop_disciplines = _parse_hop_axis(
+            args, args.topology
+        )
+        grid = sweep.grid_point_keys(
+            mixes=args.mixes,
+            buffers_bdp=args.buffers,
+            disciplines=args.disciplines,
+            substrate=args.substrate,
+            short_rtt=args.short_rtt,
+            duration_s=args.duration,
+            seeds=args.seeds,
+            topology=args.topology,
+            hops=args.hops,
+            cross_flows=args.cross_flows,
+            hop_capacities=hop_capacities,
+            hop_delays=hop_delays,
+            hop_disciplines=hop_disciplines,
+            arrivals=args.arrivals,
+            flow_size_dist=args.flow_size_dist,
+            load=args.load,
+            flows=args.flows,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = _open_existing_store(store_spec, backend)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        failed_keys = {record["key"] for record in store.failures()}
+        done: list[dict] = []
+        failed: list[dict] = []
+        remaining: list[dict] = []
+        for coords, key in grid:
+            if key in store:
+                done.append(coords)
+            elif key in failed_keys:
+                failed.append(coords)
+            else:
+                remaining.append(coords)
+        store_path = str(store.path)
+    finally:
+        store.close()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "store": store_path,
+                    "grid": len(grid),
+                    "done": len(done),
+                    "failed": len(failed),
+                    "remaining": len(remaining),
+                    "failed_points": failed,
+                    "remaining_points": remaining,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"store {store_path}: {len(grid)} grid point(s) — "
+            f"{len(done)} done, {len(failed)} failed, {len(remaining)} remaining"
+        )
+        for title, coords_list in (("failed", failed), ("remaining", remaining)):
+            # Keep the text report readable for huge grids; --json has it all.
+            if coords_list and len(coords_list) <= 20:
+                print(f"\n{title}:")
+                print(
+                    report.format_table(
+                        list(coords_list[0].keys()),
+                        [list(c.values()) for c in coords_list],
+                    )
+                )
+    # Scripting-friendly: 0 only when the grid is fully computed.
+    return 0 if not failed and not remaining else 1
+
+
 def _detect_repo_root() -> str:
     """The repository root containing this installed/served package.
 
@@ -978,12 +1281,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     raw = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(raw)
     args._argv = raw  # lets --preset merging see which flags were passed
+    if getattr(args, "quiet", False):
+        obs_log.set_level("quiet")
+    elif getattr(args, "verbose", False):
+        obs_log.set_level("debug")
     handlers = {
         "trace": _run_trace,
         "sweep": _run_sweep,
         "figure": _run_figure,
         "campaign": _run_campaign,
         "topology": _run_topology,
+        "store": _run_store,
+        "status": _run_status,
         "theorems": _run_theorems,
         "check": _run_check,
     }

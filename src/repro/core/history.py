@@ -84,6 +84,8 @@ class VectorHistory:
         self._buffer[:] = np.asarray(initial, dtype=float)
         self._head = 0
         self._steps = 0
+        #: Batched-gather call count (telemetry; one int add per gather).
+        self.gathers = 0
 
     def push(self, values: np.ndarray) -> None:
         """Append the current vector sample (call exactly once per step)."""
@@ -148,6 +150,7 @@ class VectorHistory:
         steps).  Lookups beyond the recorded history are clamped to the
         oldest sample, matching :meth:`at_delay`.
         """
+        self.gathers += 1
         if self._steps < self._size - 1:
             lags = np.minimum(lags, self._steps)
         # Negative row indices wrap to the end of the buffer, which is

@@ -77,6 +77,7 @@ import numpy as np
 
 from ..config import FlowArrival, ScenarioConfig
 from ..metrics.traces import FlowTrace, LinkTrace, Trace
+from ..obs import TELEMETRY
 from . import queues
 from .flow import FlowInputs, FlowInputsBatch, FluidCCA
 from .history import VectorHistory
@@ -145,6 +146,10 @@ class FluidSimulator:
                 self.models[i] = models[i]
             else:
                 self.models[i] = create_model(flow_cfg.cca, config.fluid)
+        #: Substrate counters of the last completed run (steps, flows,
+        #: links, gathers) — the fluid half of the stored ``runtime``
+        #: block.  Populated by both pipelines; empty before any run.
+        self.runtime: dict[str, int] = {}
 
     def _flow_lifetimes(self):
         """Per-flow start/stop/size arrays and whether any flow can depart.
@@ -210,9 +215,20 @@ class FluidSimulator:
 
     def run(self) -> Trace:
         """Integrate the scenario and return the recorded trace."""
-        if self.vectorized:
-            return self._run_vectorized()
-        return self._run_scalar()
+        with TELEMETRY.span(
+            "fluid.integrate",
+            flows=self.network.num_flows,
+            duration_s=self.config.duration_s,
+            vectorized=self.vectorized,
+        ):
+            if self.vectorized:
+                trace = self._run_vectorized()
+            else:
+                trace = self._run_scalar()
+        if TELEMETRY.enabled and self.runtime:
+            TELEMETRY.count("fluid.steps", self.runtime["steps"])
+            TELEMETRY.count("fluid.gathers", self.runtime.get("gathers", 0))
+        return trace
 
     # ------------------------------------------------------------------ #
     # Vectorized pipeline (default)
@@ -740,6 +756,14 @@ class FluidSimulator:
                 key: values[:record_index] for key, values in scalar_extras[i].items()
             }
 
+        self.runtime = {
+            "steps": steps + 1,
+            "flows": num_flows,
+            "links": num_queued,
+            "gathers": rate_history.gathers
+            + latency_history.gathers
+            + link_history.gathers,
+        }
         flow_ends = self._flow_end_list(
             churn,
             num_flows,
@@ -1074,6 +1098,11 @@ class FluidSimulator:
             queue_history.push(qs)
             loss_history.push(losses)
 
+        self.runtime = {
+            "steps": steps + 1,
+            "flows": num_flows,
+            "links": len(queued_links),
+        }
         flow_ends = self._flow_end_list(
             churn,
             num_flows,
@@ -1195,6 +1224,9 @@ def simulate_many(
         return []
     if len(configs) == 1:
         return [simulate(configs[0], record_interval_s=record_interval_s)]
+    if TELEMETRY.enabled:
+        TELEMETRY.count("fluid.lockstep_batches")
+        TELEMETRY.count("fluid.lockstep_scenarios", len(configs))
     first = configs[0]
     for cfg in configs[1:]:
         if cfg.fluid.dt != first.fluid.dt:

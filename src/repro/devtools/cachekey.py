@@ -94,6 +94,11 @@ EXECUTION_PARAMS: dict[str, str] = {
         "resume behaviour for recorded failure rows (recompute vs re-report); "
         "never changes what a successful point computes"
     ),
+    "trace": (
+        "telemetry span-log destination (repro.obs); pure observability — "
+        "scenario keys and metric values are bit-identical with tracing on "
+        "or off"
+    ),
 }
 
 #: Plural grid axes of ``run_sweep`` and the per-point parameter each

@@ -26,8 +26,16 @@ import ast
 from .base import Checker, SourceFile
 from .findings import Finding
 
-#: Directories whose code must be deterministic (the simulation kernels).
-KERNEL_DIRS = ("src/repro/core", "src/repro/emulation", "src/repro/analysis")
+#: Directories whose code must be deterministic (the simulation kernels),
+#: plus the telemetry layer: ``repro/obs`` may *measure* with the monotonic
+#: clock (never the wall clock), but every such call site must carry a
+#: committed allowlist justification — new clock use there is flagged.
+KERNEL_DIRS = (
+    "src/repro/core",
+    "src/repro/emulation",
+    "src/repro/analysis",
+    "src/repro/obs",
+)
 
 #: Wall-clock / process-time sources (resolved dotted names).
 CLOCK_CALLS = {

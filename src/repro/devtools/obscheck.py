@@ -1,0 +1,89 @@
+"""Telemetry-label hygiene: literal, dot-namespaced span/counter names.
+
+The telemetry registry (:mod:`repro.obs`) aggregates counters and spans by
+label and the summary/trace tooling groups on the literal label text, so
+the label set must be statically auditable — the same guarantee
+:mod:`repro.devtools.rng` enforces for RNG stream labels, and checked with
+the same literal-prefix machinery:
+
+* ``OBS001`` — a ``TELEMETRY.span/count/gauge/gauge_max`` label that is
+  not a string literal (or f-string), or whose literal prefix lacks a
+  dotted namespace (``"emu.events_popped"``, ``"store.append"``, ...).
+  Dynamic labels would make the span vocabulary unauditable and could
+  explode the registry cardinality; a missing namespace makes unrelated
+  subsystems collide in summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Checker, SourceFile
+from .findings import Finding
+from .rng import _label_prefix
+
+#: Receiver names treated as the process-local telemetry registry.
+TELEMETRY_RECEIVERS = {"TELEMETRY", "telemetry", "obs", "_obs"}
+
+#: Registry methods whose first argument is an aggregation label.
+LABELLED_METHODS = {"span", "count", "gauge", "gauge_max"}
+
+
+def _label_arg(node: ast.Call) -> ast.expr | None:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "label":
+            return kw.value
+    return None
+
+
+class ObsLabelChecker(Checker):
+    name = "obs-labels"
+    scope = ("src",)
+
+    def check_file(self, src: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in LABELLED_METHODS:
+                continue
+            receiver = func.value
+            if not (isinstance(receiver, ast.Name) and receiver.id in TELEMETRY_RECEIVERS):
+                continue
+            label = _label_arg(node)
+            if label is None:
+                continue
+            prefix = _label_prefix(label)
+            if prefix is None:
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "OBS001",
+                        f"telemetry label of {receiver.id}.{func.attr}() is not "
+                        "a string literal or f-string",
+                        hint=(
+                            "use a literal label so the span/counter vocabulary "
+                            "is statically auditable and bounded"
+                        ),
+                    )
+                )
+            elif "." not in prefix or prefix.startswith("."):
+                findings.append(
+                    self.finding(
+                        src,
+                        node,
+                        "OBS001",
+                        f"telemetry label {prefix!r} lacks a stable dotted "
+                        "namespace prefix",
+                        hint=(
+                            "namespace labels as '<subsystem>.<name>' (e.g. "
+                            "'emu.events_popped') so summaries group by "
+                            "subsystem without collisions"
+                        ),
+                    )
+                )
+        return findings

@@ -9,6 +9,7 @@ from .base import CheckContext, Checker
 from .cachekey import CacheKeyChecker
 from .determinism import DeterminismChecker
 from .findings import Allowlist, Baseline, Finding
+from .obscheck import ObsLabelChecker
 from .rng import RngStreamChecker
 from .unitcheck import UnitsChecker
 
@@ -21,6 +22,7 @@ def default_checkers() -> list[Checker]:
     return [
         DeterminismChecker(),
         RngStreamChecker(),
+        ObsLabelChecker(),
         CacheKeyChecker(),  # type: ignore[list-item]
         UnitsChecker(),
     ]

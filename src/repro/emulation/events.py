@@ -44,7 +44,7 @@ _Entry = list
 class EventQueue:
     """A time-ordered queue of callbacks."""
 
-    __slots__ = ("_heap", "_counter", "now", "_stopped", "_tombstones")
+    __slots__ = ("_heap", "_counter", "now", "_stopped", "_tombstones", "popped")
 
     def __init__(self) -> None:
         self._heap: list[_Entry] = []
@@ -53,6 +53,10 @@ class EventQueue:
         self.now = 0.0
         self._stopped = False
         self._tombstones = 0
+        #: Total callbacks dispatched across all ``run`` calls — the
+        #: emulator's events-popped telemetry counter.  Accumulated from a
+        #: loop-local integer so the hot loop never touches the attribute.
+        self.popped = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -82,6 +86,7 @@ class EventQueue:
             raise ValueError("end time lies in the past")
         heap = self._heap
         pop = heapq.heappop
+        popped = 0
         while heap and not self._stopped:
             entry = heap[0]
             time = entry[0]
@@ -96,7 +101,9 @@ class EventQueue:
             if owner is not None:
                 owner._entry = None
             self.now = time
+            popped += 1
             callback()
+        self.popped += popped
         if not self._stopped:
             self.now = max(self.now, until)
 

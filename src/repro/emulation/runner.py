@@ -62,6 +62,7 @@ import numpy as np
 
 from .. import units
 from ..config import ScenarioConfig
+from ..obs import TELEMETRY
 from ..rng import derive_rng
 from ..metrics.traces import FlowTrace, LinkTrace, Trace
 from . import closure_ref
@@ -256,6 +257,9 @@ class EmulationRunner:
         self._queue_checkpoints = [(0.0, 0.0)] * n_links
         self._rtt_floor = [config.rtt_s(i) for i in range(n_flows)]
         self._sample_idx = 0
+        # Live-heap high-water mark, refreshed on the sampling grid (cheap:
+        # one len() per sample, not per event).
+        self._heap_peak = 0
         self._sample_timer = (
             Timer(self.events, self._sample) if scheduler == "delayline" else None
         )
@@ -333,6 +337,9 @@ class EmulationRunner:
             departure_buf[j, k] = transmitted / interval
         self._time_buf[k] = now
         self._sample_idx = k + 1
+        live = len(self.events)
+        if live > self._heap_peak:
+            self._heap_peak = live
 
     def _flush_tail(self) -> None:
         """Record the final partial interval when ``duration_s`` is not a
@@ -351,15 +358,39 @@ class EmulationRunner:
 
     def run(self) -> Trace:
         """Run the emulation for the configured duration and return its trace."""
-        for sender in self.senders.values():
-            sender.start()
-        if self._sample_timer is not None:
-            self._sample_timer.schedule_at(self.record_interval_s)
-        else:
-            self.events.schedule_at(self.record_interval_s, self._sample)
-        self.events.run(until=self.config.duration_s)
-        self._flush_tail()
-        return self._build_trace()
+        with TELEMETRY.span(
+            "emu.run",
+            flows=self.config.num_flows,
+            duration_s=self.config.duration_s,
+            scheduler=self.scheduler,
+        ):
+            for sender in self.senders.values():
+                sender.start()
+            if self._sample_timer is not None:
+                self._sample_timer.schedule_at(self.record_interval_s)
+            else:
+                self.events.schedule_at(self.record_interval_s, self._sample)
+            self.events.run(until=self.config.duration_s)
+            self._flush_tail()
+            trace = self._build_trace()
+        if TELEMETRY.enabled:
+            counters = self.runtime_counters()
+            TELEMETRY.count("emu.events_popped", counters["events_popped"])
+            TELEMETRY.count("emu.pkts_sent", counters["pkts_sent"])
+            TELEMETRY.count("emu.pkts_delivered", counters["pkts_delivered"])
+            TELEMETRY.gauge_max("emu.heap_peak", counters["heap_peak"])
+        return trace
+
+    def runtime_counters(self) -> dict[str, int]:
+        """Substrate counters for the stored per-point ``runtime`` block."""
+        return {
+            "events_popped": int(getattr(self.events, "popped", 0)),
+            "heap_peak": int(self._heap_peak),
+            "pkts_sent": int(sum(s.sent_count for s in self.senders.values())),
+            "pkts_delivered": int(
+                sum(s.delivered_count for s in self.senders.values())
+            ),
+        }
 
     def _build_trace(self) -> Trace:
         n = self._sample_idx

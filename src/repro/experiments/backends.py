@@ -48,6 +48,8 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Any
 
+from ..obs import TELEMETRY
+
 #: ``kind`` of a failure record; result records carry no ``kind`` field so
 #: the single-file backend stays bit-compatible with pre-backend stores.
 FAILURE_KIND = "failure"
@@ -105,6 +107,7 @@ def _heal_torn_tail(path: Path) -> None:
         handle.seek(-1, os.SEEK_END)
         if handle.read(1) != b"\n":
             atomic_append(path, "\n", fsync=False)
+            TELEMETRY.count("store.torn_tail_heals")
 
 
 def iter_jsonl_records(path: Path) -> Iterator[dict[str, Any]]:
@@ -235,7 +238,8 @@ class _IndexedJsonlBackend(StoreBackend):
     def _append(self, record: Mapping[str, Any]) -> None:
         path = self._file_for(record["key"])
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_append(path, encode_record(record), fsync=self.fsync)
+        with TELEMETRY.span("store.append", backend=self.kind):
+            atomic_append(path, encode_record(record), fsync=self.fsync)
 
     def get(self, key: str) -> dict[str, Any] | None:
         return self._index.get(key)
@@ -259,11 +263,12 @@ class _IndexedJsonlBackend(StoreBackend):
         return list(self._failures.values())
 
     def select(self, **filters: Any) -> list[dict[str, Any]]:
-        return [
-            record
-            for record in self._index.values()
-            if _matches(record.get("meta", {}), filters)
-        ]
+        with TELEMETRY.span("store.select", backend=self.kind):
+            return [
+                record
+                for record in self._index.values()
+                if _matches(record.get("meta", {}), filters)
+            ]
 
     def __len__(self) -> int:
         return len(self._index)
@@ -382,9 +387,18 @@ class SqliteBackend(StoreBackend):
                 schema INTEGER NOT NULL,
                 metrics TEXT NOT NULL,
                 meta TEXT NOT NULL,
+                runtime TEXT,
                 {columns}
             )"""
         )
+        # Databases created before the runtime block existed lack the
+        # nullable column; add it in place so old rows load unchanged
+        # (their runtime stays NULL — no SCHEMA_VERSION bump needed).
+        existing = {
+            row["name"] for row in self._conn.execute("PRAGMA table_info(results)")
+        }
+        if "runtime" not in existing:
+            self._conn.execute("ALTER TABLE results ADD COLUMN runtime TEXT")
         self._conn.execute(
             """CREATE TABLE IF NOT EXISTS failures (
                 key TEXT PRIMARY KEY,
@@ -411,12 +425,15 @@ class SqliteBackend(StoreBackend):
         return value
 
     def _row_to_record(self, row: sqlite3.Row) -> dict[str, Any]:
-        return {
+        record = {
             "schema": row["schema"],
             "key": row["key"],
             "metrics": json.loads(row["metrics"]),
             "meta": json.loads(row["meta"]),
         }
+        if row["runtime"] is not None:
+            record["runtime"] = json.loads(row["runtime"])
+        return record
 
     def get(self, key: str) -> dict[str, Any] | None:
         row = self._conn.execute(
@@ -427,29 +444,34 @@ class SqliteBackend(StoreBackend):
 
     def put(self, record: Mapping[str, Any]) -> None:
         meta = record.get("meta", {})
+        runtime = record.get("runtime")
         axis_names = list(SQLITE_AXIS_COLUMNS)
-        columns = ["key", "schema", "metrics", "meta", *axis_names]
+        columns = ["key", "schema", "metrics", "meta", "runtime", *axis_names]
         values = [
             record["key"],
             record["schema"],
             json.dumps(record["metrics"], sort_keys=True),
             json.dumps(meta, sort_keys=True),
+            None if runtime is None else json.dumps(runtime, sort_keys=True),
             *(self._column_value(meta.get(name)) for name in axis_names),
         ]
         assignments = ", ".join(f"{c} = excluded.{c}" for c in columns if c != "key")
-        self._conn.execute("BEGIN IMMEDIATE")
-        try:
-            self._conn.execute(
-                f"INSERT INTO results ({', '.join(columns)}) "
-                f"VALUES ({', '.join('?' for _ in columns)}) "
-                f"ON CONFLICT(key) DO UPDATE SET {assignments}",
-                values,
-            )
-            self._conn.execute("DELETE FROM failures WHERE key = ?", (record["key"],))
-            self._conn.execute("COMMIT")
-        except BaseException:
-            self._conn.execute("ROLLBACK")
-            raise
+        with TELEMETRY.span("store.append", backend=self.kind):
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    f"INSERT INTO results ({', '.join(columns)}) "
+                    f"VALUES ({', '.join('?' for _ in columns)}) "
+                    f"ON CONFLICT(key) DO UPDATE SET {assignments}",
+                    values,
+                )
+                self._conn.execute(
+                    "DELETE FROM failures WHERE key = ?", (record["key"],)
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
 
     def put_failure(self, record: Mapping[str, Any]) -> None:
         self._conn.execute(
@@ -502,14 +524,15 @@ class SqliteBackend(StoreBackend):
             else:
                 clauses.append(f"{name} = ?")
                 params.append(self._column_value(value))
-        rows = self._conn.execute(
-            f"SELECT * FROM results WHERE {' AND '.join(clauses)} ORDER BY rowid",
-            params,
-        )
-        records = (self._row_to_record(row) for row in rows)
-        if not residual:
-            return list(records)
-        return [r for r in records if _matches(r.get("meta", {}), residual)]
+        with TELEMETRY.span("store.select", backend=self.kind):
+            rows = self._conn.execute(
+                f"SELECT * FROM results WHERE {' AND '.join(clauses)} ORDER BY rowid",
+                params,
+            )
+            records = (self._row_to_record(row) for row in rows)
+            if not residual:
+                return list(records)
+            return [r for r in records if _matches(r.get("meta", {}), residual)]
 
     def __len__(self) -> int:
         row = self._conn.execute(

@@ -21,9 +21,11 @@ that machinery as a :class:`ResilientExecutor` driven by a declarative
   reports the failures; with ``"raise"`` (the legacy contract) it still
   drains every task — persisting completed work — before the caller
   re-raises the first failure;
-* **heartbeat progress logging** — a daemon thread reports
-  ``completed/total`` counts every ``heartbeat_s`` seconds while a long
-  campaign runs.
+* **heartbeat progress logging** — a daemon thread snapshots a structured
+  :class:`ProgressEvent` (done/failed/total plus retries, timeouts, worker
+  crashes, in-flight window and queue depth) every ``heartbeat_s`` seconds,
+  renders it through the shared :mod:`repro.obs.log` logger, and mirrors
+  the counters into :data:`repro.obs.TELEMETRY` (``exec.*`` labels).
 
 The executor is deliberately generic: it runs ``call(*args, **kwargs)``
 per task and reports an :class:`ExecutionReport`; the sweep layer maps
@@ -35,13 +37,15 @@ from __future__ import annotations
 
 import dataclasses
 import signal
-import sys
 import threading
 import time
 from collections.abc import Callable, Hashable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
+
+from ..obs import TELEMETRY
+from ..obs import log as obs_log
 
 ON_FAILURE_MODES = ("raise", "skip")
 
@@ -149,8 +153,54 @@ def call_with_timeout(
         signal.signal(signal.SIGALRM, previous)
 
 
+@dataclasses.dataclass(frozen=True)
+class ProgressEvent:
+    """Structured snapshot of a running grid — the heartbeat's payload.
+
+    The legacy one-line heartbeat text is now a pure rendering of this
+    event (:meth:`render`), so any consumer — the stderr logger, the
+    telemetry span log, a future TUI — sees the same numbers.
+    """
+
+    done: int
+    failed: int
+    total: int
+    elapsed_s: float
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    inflight: int = 0
+    queued: int = 0
+
+    def render(self) -> str:
+        text = (
+            f"campaign heartbeat: {self.done}/{self.total} points done"
+            f" ({self.failed} failed), {self.elapsed_s:.0f}s elapsed"
+        )
+        extras = []
+        if self.inflight:
+            extras.append(f"{self.inflight} in flight")
+        if self.queued:
+            extras.append(f"{self.queued} queued")
+        if self.retries:
+            extras.append(f"{self.retries} retries")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timeouts")
+        if self.crashes:
+            extras.append(f"{self.crashes} worker crashes")
+        if extras:
+            text += ", " + ", ".join(extras)
+        return text
+
+
 class _Heartbeat:
-    """Daemon thread logging campaign progress at a fixed interval."""
+    """Progress bookkeeping plus a daemon thread that reports it.
+
+    All executor paths (serial, pooled, isolation re-runs) feed the same
+    counters; the beat thread snapshots them as a :class:`ProgressEvent`,
+    logs its rendering, writes the event to the telemetry span log when
+    tracing, and mirrors the counts into ``exec.*`` telemetry labels.
+    """
 
     def __init__(
         self,
@@ -163,6 +213,11 @@ class _Heartbeat:
         self._log = log
         self._done = 0
         self._failed = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._crashes = 0
+        self._inflight = 0
+        self._queued = 0
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -178,6 +233,7 @@ class _Heartbeat:
         self._stop.set()
         if self._thread is not None:
             self._thread.join()
+        self._publish_telemetry()
 
     def advance(self, failed: bool = False) -> None:
         with self._lock:
@@ -185,19 +241,64 @@ class _Heartbeat:
             if failed:
                 self._failed += 1
 
+    def note_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+        TELEMETRY.count("exec.retries")
+
+    def note_timeout(self) -> None:
+        with self._lock:
+            self._timeouts += 1
+        TELEMETRY.count("exec.timeouts")
+
+    def note_crash(self) -> None:
+        with self._lock:
+            self._crashes += 1
+        TELEMETRY.count("exec.worker_crashes")
+
+    def set_window(self, inflight: int, queued: int) -> None:
+        """Record the pooled submission window (in-flight futures, queue depth)."""
+        with self._lock:
+            self._inflight = inflight
+            self._queued = queued
+        TELEMETRY.gauge("exec.inflight", inflight)
+        TELEMETRY.gauge("exec.queue_depth", queued)
+
+    def snapshot(self) -> ProgressEvent:
+        with self._lock:
+            return ProgressEvent(
+                done=self._done,
+                failed=self._failed,
+                total=self._total,
+                elapsed_s=time.monotonic() - self._started_at,
+                retries=self._retries,
+                timeouts=self._timeouts,
+                crashes=self._crashes,
+                inflight=self._inflight,
+                queued=self._queued,
+            )
+
+    def _publish_telemetry(self) -> None:
+        if not TELEMETRY.enabled:
+            return
+        event = self.snapshot()
+        TELEMETRY.count("exec.points_done", event.done)
+        TELEMETRY.count("exec.points_failed", event.failed)
+        if TELEMETRY.trace_path is not None:
+            TELEMETRY.write_event(
+                {"ev": "progress", "final": True, **dataclasses.asdict(event)}
+            )
+
     def _beat(self) -> None:
         while not self._stop.wait(self._interval_s):
-            with self._lock:
-                done, failed = self._done, self._failed
-            elapsed = time.monotonic() - self._started_at
-            self._log(
-                f"campaign heartbeat: {done}/{self._total} points done"
-                f" ({failed} failed), {elapsed:.0f}s elapsed"
-            )
+            event = self.snapshot()
+            self._log(event.render())
+            if TELEMETRY.enabled and TELEMETRY.trace_path is not None:
+                TELEMETRY.write_event({"ev": "progress", **dataclasses.asdict(event)})
 
 
 def _default_log(message: str) -> None:
-    print(message, file=sys.stderr)
+    obs_log.info("executor.progress", message)
 
 
 class ResilientExecutor:
@@ -247,7 +348,8 @@ class ResilientExecutor:
                 deferred: list[Any] = []
                 if policy.pooled:
                     crashed, deferred = self._run_pooled(
-                        pending, call, task_args, landed, failed_round, report
+                        pending, call, task_args, landed, failed_round, report,
+                        heartbeat,
                     )
                     # Workers that died broke the whole pool; re-run the
                     # implicated window one task per single-worker pool to
@@ -259,7 +361,8 @@ class ResilientExecutor:
                         )
                     for task in crashed:
                         self._run_isolated(
-                            task, call, task_args, landed, failed_round, report
+                            task, call, task_args, landed, failed_round, report,
+                            heartbeat,
                         )
                 else:
                     for task in pending:
@@ -278,7 +381,10 @@ class ResilientExecutor:
                 # round at no attempt cost.
                 pending = deferred
                 for task, exc in failed_round:
+                    if isinstance(exc, PointTimeout):
+                        heartbeat.note_timeout()
                     if report.attempts[task] <= policy.retries:
+                        heartbeat.note_retry()
                         self._log(
                             f"point {describe(task)} failed "
                             f"(attempt {report.attempts[task]}/"
@@ -309,6 +415,7 @@ class ResilientExecutor:
         landed: Callable[[Any, Any], None],
         failed_round: list[tuple[Any, BaseException]],
         report: ExecutionReport,
+        heartbeat: _Heartbeat,
     ) -> tuple[list[Any], list[Any]]:
         """One pool round with windowed submission.
 
@@ -338,6 +445,7 @@ class ResilientExecutor:
             while queue and len(futures) < (policy.workers or 1):
                 submit_next()
             while futures:
+                heartbeat.set_window(len(futures), len(queue))
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     task = futures.pop(future)
@@ -358,6 +466,7 @@ class ResilientExecutor:
                     submit_next()
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+        heartbeat.set_window(0, len(queue))
         return crashed, queue
 
     def _run_isolated(
@@ -368,6 +477,7 @@ class ResilientExecutor:
         landed: Callable[[Any, Any], None],
         failed_round: list[tuple[Any, BaseException]],
         report: ExecutionReport,
+        heartbeat: _Heartbeat,
     ) -> None:
         """Re-run one crash-implicated task alone in a 1-worker pool."""
         args, kwargs = task_args(task)
@@ -379,6 +489,7 @@ class ResilientExecutor:
             try:
                 result = future.result()
             except BrokenProcessPool:
+                heartbeat.note_crash()
                 failed_round.append(
                     (task, WorkerCrash("worker process died computing this point"))
                 )

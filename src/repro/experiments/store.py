@@ -46,6 +46,7 @@ from typing import Any
 
 from ..config import ScenarioConfig
 from ..metrics.aggregate import AggregateMetrics
+from ..obs import TELEMETRY
 from .backends import make_backend
 
 #: Bump when simulator/emulator semantics change enough that previously
@@ -157,8 +158,10 @@ class SweepStore:
         record = self._backend.get(key)
         if record is None:
             self.misses += 1
+            TELEMETRY.count("store.miss")
             return None
         self.hits += 1
+        TELEMETRY.count("store.hit")
         return AggregateMetrics(**record["metrics"])
 
     def put(
@@ -166,16 +169,26 @@ class SweepStore:
         key: str,
         metrics: AggregateMetrics,
         meta: Mapping[str, Any] | None = None,
+        runtime: Mapping[str, Any] | None = None,
     ) -> None:
-        """Persist one completed point immediately."""
-        self._backend.put(
-            {
-                "schema": SCHEMA_VERSION,
-                "key": key,
-                "metrics": metrics.as_dict(),
-                "meta": dict(meta) if meta else {},
-            }
-        )
+        """Persist one completed point immediately.
+
+        ``runtime`` is the optional per-point execution-metadata block
+        (wall s, CPU s, peak RSS, substrate counters — see
+        :class:`repro.obs.RuntimeCapture`).  It is *non-keyed*: it never
+        participates in :func:`scenario_key`, so it neither invalidates
+        old rows (no :data:`SCHEMA_VERSION` bump) nor makes two runs of
+        one scenario distinct.
+        """
+        record: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "metrics": metrics.as_dict(),
+            "meta": dict(meta) if meta else {},
+        }
+        if runtime:
+            record["runtime"] = dict(runtime)
+        self._backend.put(record)
 
     def put_failure(
         self,

@@ -43,18 +43,20 @@ The grid is embarrassingly parallel and is exploited two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from collections.abc import Iterable, Sequence
 
 from ..config import ARRIVAL_PROCESSES, SIZE_DISTRIBUTIONS
-from ..core.simulator import simulate, simulate_many
-from ..emulation.runner import emulate
+from ..core.simulator import FluidSimulator, simulate_many
+from ..emulation.runner import EmulationRunner
 from ..metrics.aggregate import (
     AggregateMetrics,
     MetricsSummary,
     aggregate_metrics,
     summarize_metrics,
 )
+from ..obs import TELEMETRY, RuntimeCapture
 from . import scenarios
 from .executor import ExecutorPolicy, PointFailure, ResilientExecutor
 from .store import SweepStore, resolve_store, scenario_key
@@ -105,6 +107,11 @@ class SweepPoint:
     substrate: str
     metrics: AggregateMetrics
     seed: int = 1
+    #: Non-keyed execution metadata of the run that computed this point
+    #: (wall/CPU seconds, peak RSS, substrate counters); ``None`` when the
+    #: point was served from a cache or store.  Excluded from equality so
+    #: identical results compare equal regardless of where they ran.
+    runtime: dict | None = field(default=None, compare=False, repr=False)
 
     def row(self) -> dict[str, float | str]:
         """Flatten into a CSV-friendly dictionary."""
@@ -605,17 +612,24 @@ def run_point(
         arrivals, flow_size_dist, load, flows,
     )
     metrics = None
+    runtime: dict | None = None
     if store is not None:
         skey = scenario_key(config, substrate, record_interval_s, scheduler)
         metrics = store.get(skey)
     if metrics is None:
-        if substrate == "fluid":
-            trace = simulate(config)
-        else:
-            trace = emulate(
-                config, record_interval_s=record_interval_s, scheduler=scheduler
-            )
-        metrics = aggregate_metrics(trace)
+        with RuntimeCapture() as rt:
+            if substrate == "fluid":
+                sim = FluidSimulator(config)
+                trace = sim.run()
+                counters = dict(sim.runtime)
+            else:
+                runner = EmulationRunner(
+                    config, record_interval_s=record_interval_s, scheduler=scheduler
+                )
+                trace = runner.run()
+                counters = runner.runtime_counters()
+            metrics = aggregate_metrics(trace)
+        runtime = rt.block(counters)
         if store is not None:
             store.put(
                 skey,
@@ -627,6 +641,7 @@ def run_point(
                     hop_capacities, hop_delays, hop_disciplines,
                     arrivals, flow_size_dist, load, flows,
                 ),
+                runtime=runtime,
             )
     point = SweepPoint(
         mix=mix,
@@ -635,6 +650,7 @@ def run_point(
         substrate=substrate,
         metrics=metrics,
         seed=seed,
+        runtime=runtime,
     )
     if use_cache:
         _CACHE[key] = point
@@ -667,6 +683,7 @@ def _run_grid(
     flows: int | None = None,
     executor: ExecutorPolicy | None = None,
     retry_failed: bool = True,
+    trace: str | Path | None = None,
 ) -> tuple[list[SweepPoint] | list[SummaryPoint], list[CampaignFailure]]:
     """Shared grid engine behind :func:`run_sweep` and :func:`run_campaign`.
 
@@ -674,6 +691,15 @@ def _run_grid(
     policy a non-empty failure list raises :class:`SweepPointError` instead
     of returning, after the rest of the grid has completed and persisted.
     """
+    if trace is not None:
+        # Re-enter with telemetry routed to the span log for the whole grid
+        # (workers self-enable via the env var the context manager sets).
+        # ``locals()`` is snapshotted before any other name is bound, so it
+        # holds exactly this function's parameters.
+        params = dict(locals())
+        params["trace"] = None
+        with TELEMETRY.tracing(trace):
+            return _run_grid(**params)
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
     arrivals, flow_size_dist, load, flows = normalize_churn_axis(
@@ -775,6 +801,7 @@ def _run_grid(
                     hop_capacities, hop_delays, hop_disciplines,
                     arrivals, flow_size_dist, load, flows,
                 ),
+                runtime=point.runtime,
             )
 
     # The executor policy: an explicit ``executor`` wins, with ``workers``
@@ -877,11 +904,18 @@ def _run_grid(
                     )
                     for discipline, mix, buffer_bdp, seed in chunk
                 ]
-                traces = simulate_many(configs)
+                with RuntimeCapture() as capture:
+                    traces = simulate_many(configs)
             except Exception:
                 execute(chunk)
                 continue
-            for task, trace in zip(chunk, traces, strict=True):
+            # Lockstep chunks share one integration, so the measured cost
+            # is amortised evenly over the chunk's points (``shared=``).
+            chunk_runtime = capture.block(
+                {"steps": int(round(duration_s / dt)) + 1, "lockstep": len(chunk)},
+                shared=len(chunk),
+            )
+            for task, point_trace in zip(chunk, traces, strict=True):
                 discipline, mix, buffer_bdp, seed = task
                 persist(
                     task,
@@ -890,8 +924,9 @@ def _run_grid(
                         buffer_bdp=buffer_bdp,
                         discipline=discipline,
                         substrate=substrate,
-                        metrics=aggregate_metrics(trace),
+                        metrics=aggregate_metrics(point_trace),
                         seed=seed,
+                        runtime=chunk_runtime,
                     ),
                 )
     elif pending:
@@ -992,6 +1027,7 @@ def run_sweep(
     flows: int | None = None,
     executor: ExecutorPolicy | None = None,
     retry_failed: bool = True,
+    trace: str | Path | None = None,
 ) -> list[SweepPoint] | list[SummaryPoint]:
     """Run the full (or a reduced) aggregate-validation sweep.
 
@@ -1036,6 +1072,12 @@ def run_sweep(
     :func:`~repro.experiments.scenarios.churn_scenario`); the grid, the
     caches and the store keep working identically, and the churn axis rides
     along in the cache key and the store meta.
+
+    ``trace`` names a JSON-lines span-log file: telemetry is enabled for
+    the whole grid (workers included) and every span/counter/progress
+    event is appended there (``repro-bbr trace export --chrome`` converts
+    it for chrome://tracing).  Tracing never changes results — scenario
+    keys and metric values are bit-identical with an untraced run.
     """
     points, _failures = _run_grid(**locals())
     return points
@@ -1067,6 +1109,7 @@ def run_campaign(
     flows: int | None = None,
     executor: ExecutorPolicy | None = None,
     retry_failed: bool = True,
+    trace: str | Path | None = None,
 ) -> CampaignResult:
     """Run a sweep grid and return points *and* structured failures.
 
@@ -1079,6 +1122,89 @@ def run_campaign(
     """
     points, failures = _run_grid(**locals())
     return CampaignResult(points=points, failures=failures)
+
+
+def grid_point_keys(
+    mixes: Iterable[str] | None = None,
+    buffers_bdp: Iterable[float] | None = None,
+    disciplines: Iterable[str] | None = None,
+    substrate: str = "fluid",
+    short_rtt: bool = False,
+    duration_s: float = 5.0,
+    dt: float = scenarios.SWEEP_DT,
+    whi_init_bdp: float | None = None,
+    seeds: int | Sequence[int] | None = None,
+    record_interval_s: float = DEFAULT_RECORD_INTERVAL_S,
+    scheduler: str = DEFAULT_SCHEDULER,
+    topology: str | None = None,
+    hops: int = 3,
+    cross_flows: int = 1,
+    hop_capacities: Sequence[float] | None = None,
+    hop_delays: Sequence[float] | None = None,
+    hop_disciplines: Sequence[str] | None = None,
+    arrivals: str | None = None,
+    flow_size_dist: str | None = None,
+    load: float | None = None,
+    flows: int | None = None,
+) -> list[tuple[dict, str]]:
+    """Enumerate a grid's ``(coords, scenario_key)`` pairs without running it.
+
+    Powers ``repro-bbr status``: the same axis normalisation, combo
+    enumeration and key derivation as :func:`_run_grid`, but no point is
+    computed.  Tasks that alias onto one scenario key (fluid seed replicas
+    of seed-free scenarios) are deduplicated — the returned list has one
+    entry per *distinct* stored record the grid would produce, so
+    ``done + failed + remaining`` adds up against the store.
+    """
+    if substrate not in SUBSTRATES:
+        raise ValueError(f"unknown substrate {substrate!r}")
+    arrivals, flow_size_dist, load, flows = normalize_churn_axis(
+        arrivals, flow_size_dist, load, flows
+    )
+    hop_capacities, hop_delays, hop_disciplines = scenarios.validate_hop_axis(
+        hops, hop_capacities, hop_delays, hop_disciplines,
+        preset=topology or "dumbbell",
+    )
+    mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
+    buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
+    disciplines = list(disciplines) if disciplines is not None else list(scenarios.DISCIPLINES)
+    if hop_disciplines is not None:
+        if len(disciplines) > 1:
+            raise ValueError(
+                "hop_disciplines fixes every hop's queue discipline; restrict "
+                "the grid to a single disciplines value"
+            )
+        disciplines = [hop_discipline_label(hop_disciplines)]
+    seed_list = _seed_list(seeds) if seeds is not None else [1]
+    out: list[tuple[dict, str]] = []
+    seen: set[str] = set()
+    for discipline in disciplines:
+        for mix in mixes:
+            for buffer_bdp in buffers:
+                for seed in seed_list:
+                    config = _point_config(
+                        mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+                        whi_init_bdp, seed, topology, hops, cross_flows,
+                        hop_capacities, hop_delays, hop_disciplines,
+                        arrivals, flow_size_dist, load, flows,
+                    )
+                    key = scenario_key(config, substrate, record_interval_s, scheduler)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append(
+                        (
+                            {
+                                "mix": mix,
+                                "buffer_bdp": buffer_bdp,
+                                "discipline": discipline,
+                                "substrate": substrate,
+                                "seed": seed,
+                            },
+                            key,
+                        )
+                    )
+    return out
 
 
 def series(

@@ -1,0 +1,50 @@
+"""Runtime observability: telemetry spans/counters, structured logging.
+
+This package is a deliberate leaf — it imports nothing from the rest of
+``repro`` so every layer (core, emulation, experiments, cli) can
+instrument itself without creating cycles.  The pieces:
+
+``telemetry``
+    Process-local :class:`~repro.obs.telemetry.Telemetry` registry of
+    counters, gauges, and timed spans.  Disabled by default: hot paths
+    pay one attribute lookup (``TELEMETRY.enabled``) and nothing else.
+    Enabled via ``REPRO_TELEMETRY`` (value ``1`` for in-memory counters,
+    a path for a JSON-lines span log) or programmatically via
+    ``TELEMETRY.tracing(path)`` — the seam ``campaign --trace FILE``
+    uses, which also exports the env var so pool workers self-enable.
+
+``log``
+    Structured stderr logger with level gating (``REPRO_LOG_LEVEL``,
+    ``--quiet``/``-v``).  Executor heartbeats and campaign failure
+    tables route through it so sweep and campaign agree on stream and
+    verbosity.
+
+``runtime``
+    :class:`~repro.obs.runtime.RuntimeCapture` — the wall-s/CPU-s/peak-RSS
+    block persisted into every store row as non-keyed execution metadata.
+
+``chrome``
+    Converter from the JSON-lines span log to Chrome trace-event JSON
+    (``repro-bbr trace export --chrome`` → chrome://tracing).
+
+Determinism contract: only ``time.monotonic``/``time.process_time`` are
+ever read (allowlisted in ``devtools/allowlist.txt``), and nothing in
+this package feeds simulation state, metrics, or store keys.
+"""
+
+from __future__ import annotations
+
+from . import log
+from .chrome import chrome_trace, export_chrome
+from .runtime import RuntimeCapture
+from .telemetry import ENV_VAR, TELEMETRY, Telemetry
+
+__all__ = [
+    "ENV_VAR",
+    "TELEMETRY",
+    "RuntimeCapture",
+    "Telemetry",
+    "chrome_trace",
+    "export_chrome",
+    "log",
+]

@@ -1,0 +1,107 @@
+"""Span-log → Chrome trace-event converter (``trace export --chrome``).
+
+The ``--trace FILE`` span log is JSON lines; chrome://tracing (and
+Perfetto's legacy loader) want a single JSON object with a
+``traceEvents`` array of complete events (``"ph": "X"``, microsecond
+timestamps).  ``time.monotonic`` is CLOCK_MONOTONIC system-wide on
+Linux, so spans from the campaign parent and its pool workers already
+share one time axis; each worker pid becomes its own process track.
+
+``log`` records become instant events (``"ph": "i"``) on their pid's
+track and the final ``counters`` snapshot becomes per-counter counter
+events (``"ph": "C"``), so the flamegraph carries the run's narrative
+and totals, not just its timings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from typing import Any
+
+
+def _iter_span_log(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield parsed events from a JSON-lines span log, skipping torn lines."""
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer; spans are append-only
+            if isinstance(event, dict):
+                yield event
+
+
+def chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Convert parsed span-log events to a Chrome trace-event document."""
+    trace_events: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("ev")
+        pid = int(event.get("pid", 0))
+        if kind == "span":
+            entry: dict[str, Any] = {
+                "name": str(event.get("name", "span")),
+                "ph": "X",
+                "ts": round(float(event.get("ts", 0.0)) * 1e6, 3),
+                "dur": round(float(event.get("dur", 0.0)) * 1e6, 3),
+                "pid": pid,
+                "tid": pid,
+            }
+            fields = event.get("fields")
+            if fields:
+                entry["args"] = fields
+            trace_events.append(entry)
+        elif kind == "log":
+            entry = {
+                "name": str(event.get("event", "log")),
+                "ph": "i",
+                "s": "p",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": pid,
+                "args": {
+                    "level": event.get("level"),
+                    "message": event.get("msg"),
+                    **(event.get("fields") or {}),
+                },
+            }
+            trace_events.append(entry)
+        elif kind == "counters":
+            for label, value in sorted((event.get("counters") or {}).items()):
+                trace_events.append(
+                    {
+                        "name": label,
+                        "ph": "C",
+                        "ts": 0.0,
+                        "pid": pid,
+                        "args": {"value": value},
+                    }
+                )
+    # Instant/counter events carry no timestamp of their own; pin them to
+    # the start of their pid's earliest span so tracks render sensibly.
+    starts: dict[int, float] = {}
+    for entry in trace_events:
+        if entry["ph"] == "X":
+            pid = entry["pid"]
+            starts[pid] = min(starts.get(pid, float("inf")), entry["ts"])
+    for entry in trace_events:
+        if entry["ph"] != "X":
+            entry["ts"] = starts.get(entry["pid"], 0.0)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome(
+    span_log: str | Path, output: str | Path | None = None
+) -> tuple[int, Path]:
+    """Write the Chrome trace for a span log; returns (event count, path)."""
+    span_log = Path(span_log)
+    if output is None:
+        output = span_log.with_suffix(".chrome.json")
+    output = Path(output)
+    document = chrome_trace(_iter_span_log(span_log))
+    output.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return len(document["traceEvents"]), output

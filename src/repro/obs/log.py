@@ -1,0 +1,100 @@
+"""Structured stderr logger shared by the executor and the CLI.
+
+One stream (stderr), one level gate, one format — fixing the historical
+split where ``sweep`` printed progress to stdout and ``campaign`` to
+stderr.  The level comes from ``REPRO_LOG_LEVEL`` (``debug``, ``info``,
+``warning``, ``error``; ``quiet`` is an alias of ``error``) and can be
+overridden per invocation by the CLI's ``-v``/``--quiet`` flags via
+:func:`set_level`.
+
+Every emitted record is ``event`` (a stable dotted name such as
+``executor.heartbeat``), an optional human ``message``, and key=value
+``fields``.  When telemetry is tracing to a span log, the record is
+mirrored there as a ``log`` event so traces carry the operator-visible
+narrative alongside the spans.
+
+No wall-clock timestamps: log lines are deterministic given the same
+run, which keeps this module clean under the determinism checker.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any
+
+from .telemetry import TELEMETRY
+
+LEVELS = {
+    "debug": 10,
+    "info": 20,
+    "warning": 30,
+    "error": 40,
+    "quiet": 40,  # alias: suppress chatter, keep errors
+}
+
+_DEFAULT_LEVEL = "info"
+
+_level_name = _DEFAULT_LEVEL
+_threshold = LEVELS[_DEFAULT_LEVEL]
+
+
+def set_level(name: str) -> None:
+    """Set the minimum level that reaches stderr."""
+    global _level_name, _threshold
+    key = name.strip().lower()
+    if key not in LEVELS:
+        choices = ", ".join(sorted(LEVELS))
+        raise ValueError(f"unknown log level {name!r} (choices: {choices})")
+    _level_name = key
+    _threshold = LEVELS[key]
+
+
+def level() -> str:
+    """The current minimum level name."""
+    return _level_name
+
+
+def log(level_name: str, event: str, message: str | None = None, **fields: Any) -> None:
+    """Emit one structured record at the given level."""
+    severity = LEVELS[level_name]
+    if TELEMETRY.enabled and TELEMETRY.trace_path is not None:
+        record: dict[str, Any] = {"ev": "log", "level": level_name, "event": event}
+        if message is not None:
+            record["msg"] = message
+        if fields:
+            record["fields"] = {k: v for k, v in fields.items()}
+        record["pid"] = os.getpid()
+        TELEMETRY.write_event(record)
+    if severity < _threshold:
+        return
+    text = message if message is not None else event
+    if fields:
+        rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+        text = f"{text} {rendered}" if text else rendered
+    print(text, file=sys.stderr)
+
+
+def debug(event: str, message: str | None = None, **fields: Any) -> None:
+    log("debug", event, message, **fields)
+
+
+def info(event: str, message: str | None = None, **fields: Any) -> None:
+    log("info", event, message, **fields)
+
+
+def warning(event: str, message: str | None = None, **fields: Any) -> None:
+    log("warning", event, message, **fields)
+
+
+def error(event: str, message: str | None = None, **fields: Any) -> None:
+    log("error", event, message, **fields)
+
+
+def _configure_from_env() -> None:
+    value = os.environ.get("REPRO_LOG_LEVEL", "").strip().lower()
+    if value in LEVELS:
+        set_level(value)
+
+
+_configure_from_env()

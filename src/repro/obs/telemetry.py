@@ -1,0 +1,250 @@
+"""Process-local telemetry registry: counters, gauges, timed spans.
+
+One module-level :data:`TELEMETRY` instance serves the whole process.
+It is *disabled* by default and every instrumented call site is written
+so the disabled cost is a single attribute lookup::
+
+    if TELEMETRY.enabled:
+        TELEMETRY.count("emu.events_popped", popped)
+
+    with TELEMETRY.span("fluid.integrate", flows=n):   # no-op stub when off
+        ...
+
+Spans time with ``time.monotonic()`` only (CLOCK_MONOTONIC is
+system-wide on Linux, so parent and pool-worker timestamps share one
+axis) and, when a trace path is configured, append one JSON line per
+span via a crash-safe ``O_APPEND`` single-``write``: concurrent workers
+interleave whole lines, never bytes.  Nothing here feeds simulation
+state, metrics, or store keys — see ``devtools/allowlist.txt`` for the
+DET001 justification.
+
+Label discipline (enforced by devtools rule OBS001): labels are string
+literals with a dotted ``layer.name`` prefix — ``emu.*``, ``fluid.*``,
+``exec.*``, ``store.*``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+#: Environment switch: unset/empty → disabled; ``1``/``true``/``on`` →
+#: in-memory counters only; any other value → span-log path.
+ENV_VAR = "REPRO_TELEMETRY"
+
+_ON_VALUES = {"1", "true", "on", "yes"}
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by ``span()`` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live timed span; records duration into the registry on exit."""
+
+    __slots__ = ("_telemetry", "name", "fields", "_started")
+
+    def __init__(
+        self, telemetry: Telemetry, name: str, fields: Mapping[str, Any]
+    ) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.fields = fields
+        self._started = 0.0
+
+    def __enter__(self) -> _Span:
+        self._started = time.monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        ended = time.monotonic()
+        self._telemetry._record_span(
+            self.name, self._started, ended - self._started, self.fields
+        )
+        return False
+
+
+class Telemetry:
+    """Registry of counters, gauges and span timings for one process.
+
+    Thread-safe: the executor heartbeat thread and the main thread both
+    write to it.  All mutating methods are no-ops while ``enabled`` is
+    False, so instrumentation can stay unconditional in warm (non-inner-
+    loop) code; truly hot loops should guard on ``TELEMETRY.enabled``
+    and use plain local accumulators instead.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.trace_path: Path | None = None
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.span_totals_s: dict[str, float] = {}
+        self.span_counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self, trace_path: str | Path | None = None) -> None:
+        """Turn collection on, optionally appending spans to a JSONL file."""
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+        self.trace_path = None
+
+    def reset(self) -> None:
+        """Clear accumulated data (enabled state is untouched)."""
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.span_totals_s.clear()
+            self.span_counts.clear()
+
+    @contextmanager
+    def tracing(self, trace_path: str | Path) -> Iterator[Telemetry]:
+        """Enable span logging for a block and export it to pool workers.
+
+        Sets :data:`ENV_VAR` to the span-log path so worker processes
+        (which import ``repro`` fresh) self-enable and append to the
+        same file; prior state — enabled flag, trace path, env var — is
+        restored on exit, after a final ``counters`` event is flushed.
+        """
+        path = Path(trace_path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        prev_enabled, prev_path = self.enabled, self.trace_path
+        prev_env = os.environ.get(ENV_VAR)
+        self.enable(path)
+        os.environ[ENV_VAR] = str(path)
+        try:
+            yield self
+        finally:
+            self.flush_counters()
+            self.enabled, self.trace_path = prev_enabled, prev_path
+            if prev_env is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = prev_env
+
+    # -- collection ----------------------------------------------------
+
+    def count(self, label: str, value: float = 1) -> None:
+        """Add ``value`` to a monotonically growing counter."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[label] = self.counters.get(label, 0) + value
+
+    def gauge(self, label: str, value: float) -> None:
+        """Record the latest value of a point-in-time quantity."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.gauges[label] = value
+
+    def gauge_max(self, label: str, value: float) -> None:
+        """Record the high-water mark of a point-in-time quantity."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self.gauges.get(label, float("-inf")):
+                self.gauges[label] = value
+
+    def span(self, label: str, **fields: Any) -> _Span | _NullSpan:
+        """A timed context manager; a shared no-op stub while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, label, fields)
+
+    def _record_span(
+        self, name: str, started: float, duration_s: float, fields: Mapping[str, Any]
+    ) -> None:
+        with self._lock:
+            self.span_totals_s[name] = self.span_totals_s.get(name, 0.0) + duration_s
+            self.span_counts[name] = self.span_counts.get(name, 0) + 1
+        if self.trace_path is not None:
+            event: dict[str, Any] = {
+                "ev": "span",
+                "name": name,
+                "pid": os.getpid(),
+                "ts": round(started, 6),
+                "dur": round(duration_s, 6),
+            }
+            if fields:
+                event["fields"] = dict(fields)
+            self.write_event(event)
+
+    # -- output --------------------------------------------------------
+
+    def write_event(self, payload: Mapping[str, Any]) -> None:
+        """Append one JSON line to the span log (atomic ``O_APPEND`` write)."""
+        if self.trace_path is None:
+            return
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        fd = os.open(
+            self.trace_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time copy of all accumulated data."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "spans": {
+                    name: {
+                        "count": self.span_counts[name],
+                        "total_s": round(self.span_totals_s[name], 6),
+                    }
+                    for name in sorted(self.span_counts)
+                },
+            }
+
+    def flush_counters(self) -> None:
+        """Write the counter/gauge snapshot as one ``counters`` event."""
+        if not self.enabled or self.trace_path is None:
+            return
+        snap = self.snapshot()
+        if not (snap["counters"] or snap["gauges"] or snap["spans"]):
+            return
+        self.write_event({"ev": "counters", "pid": os.getpid(), **snap})
+
+
+#: The process-wide registry every instrumented layer shares.
+TELEMETRY = Telemetry()
+
+
+def _configure_from_env() -> None:
+    value = os.environ.get(ENV_VAR, "").strip()
+    if not value:
+        return
+    if value.lower() in _ON_VALUES:
+        TELEMETRY.enable()
+    else:
+        TELEMETRY.enable(value)
+
+
+_configure_from_env()

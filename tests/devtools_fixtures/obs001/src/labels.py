@@ -1,0 +1,19 @@
+"""Seeded OBS001 violations: one dynamic telemetry label, one without a
+dotted namespace.  The literal, namespaced calls at the bottom must NOT
+be flagged."""
+
+from repro.obs import TELEMETRY
+
+
+def dynamic_label(metric):
+    TELEMETRY.count(metric)  # OBS001: label is not a literal
+
+
+def flat_label(depth):
+    TELEMETRY.gauge("queue_depth", depth)  # OBS001: no dotted namespace
+
+
+def fine(flows):
+    with TELEMETRY.span("emu.run", flows=flows):
+        TELEMETRY.count("emu.events_popped", 10)
+    TELEMETRY.gauge_max(label="emu.heap_peak", value=flows)

@@ -208,9 +208,9 @@ class TestRunPointStore:
         store = SweepStore(tmp_path / "s.jsonl")
         cold = sweep.run_point("BBRv1", 1.0, "droptail", store=store, **FAST)
         sweep.clear_cache()
-        # Any recomputation would call simulate; forbid it outright.
+        # Any recomputation would construct a simulator; forbid it outright.
         monkeypatch.setattr(
-            sweep, "simulate", lambda *a, **k: pytest.fail("point was recomputed")
+            sweep, "FluidSimulator", lambda *a, **k: pytest.fail("point was recomputed")
         )
         warm = sweep.run_point(
             "BBRv1", 1.0, "droptail", store=SweepStore(store.path), **FAST
@@ -243,7 +243,9 @@ class TestRunSweepStore:
         cold = sweep.run_sweep(store=store, **self.GRID)
         sweep.clear_cache()
         monkeypatch.setattr(
-            sweep, "emulate", lambda *a, **k: pytest.fail("point was recomputed")
+            sweep,
+            "EmulationRunner",
+            lambda *a, **k: pytest.fail("point was recomputed"),
         )
         warm_store = SweepStore(store.path)
         warm = sweep.run_sweep(store=warm_store, **self.GRID)
@@ -252,16 +254,16 @@ class TestRunSweepStore:
 
     def test_interrupted_sweep_resumes_from_store(self, tmp_path, monkeypatch):
         store_path = tmp_path / "s.jsonl"
-        real_emulate = sweep.emulate
+        real_runner = sweep.EmulationRunner
         calls: list[float] = []
 
-        def failing_emulate(config, **kwargs):
+        def failing_runner(config, **kwargs):
             calls.append(config.bottleneck.buffer_bdp)
             if config.bottleneck.buffer_bdp == 2.0:
                 raise RuntimeError("simulated crash")
-            return real_emulate(config, **kwargs)
+            return real_runner(config, **kwargs)
 
-        monkeypatch.setattr(sweep, "emulate", failing_emulate)
+        monkeypatch.setattr(sweep, "EmulationRunner", failing_runner)
         with pytest.raises(sweep.SweepPointError) as excinfo:
             sweep.run_sweep(store=SweepStore(store_path), **self.GRID)
         # The wrapped error names the failing grid point...
@@ -272,11 +274,11 @@ class TestRunSweepStore:
 
         sweep.clear_cache()
         calls.clear()
-        monkeypatch.setattr(sweep, "emulate", real_emulate, raising=True)
-        count_emulate = lambda config, **kwargs: calls.append(
+        monkeypatch.setattr(sweep, "EmulationRunner", real_runner, raising=True)
+        count_runner = lambda config, **kwargs: calls.append(
             config.bottleneck.buffer_bdp
-        ) or real_emulate(config, **kwargs)
-        monkeypatch.setattr(sweep, "emulate", count_emulate)
+        ) or real_runner(config, **kwargs)
+        monkeypatch.setattr(sweep, "EmulationRunner", count_runner)
         points = sweep.run_sweep(store=SweepStore(store_path), **self.GRID)
         # Resume recomputes only the point that failed.
         assert calls == [2.0]
