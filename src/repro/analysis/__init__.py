@@ -1,5 +1,25 @@
-"""Theoretical analysis: reduced models, equilibria, and Lyapunov stability."""
+"""Theoretical analysis: reduced models, equilibria, and Lyapunov stability.
 
+The campaign-facing surface lives in :mod:`.adapter`: builders
+(:func:`reference_network`) and adapters (:func:`from_scenario`,
+:func:`analyze_scenario`) replace bare :class:`SingleBottleneck`
+construction, dispatch to the Theorem 1-5 closed forms where their
+hypotheses hold, and fall back to the reduced models numerically
+(including mixed BBRv1/BBRv2 populations) everywhere else.
+"""
+
+from .adapter import (
+    ANALYZABLE_CCAS,
+    AnalyticPoint,
+    UnsupportedScenarioError,
+    analyze_network,
+    analyze_scenario,
+    buffer_never_binds,
+    classify_stability,
+    from_scenario,
+    mixed_reduced_rhs,
+    reference_network,
+)
 from .equilibrium import (
     Equilibrium,
     bbr1_deep_buffer_equilibrium,
@@ -31,6 +51,16 @@ from .stability import (
 )
 
 __all__ = [
+    "ANALYZABLE_CCAS",
+    "AnalyticPoint",
+    "UnsupportedScenarioError",
+    "analyze_network",
+    "analyze_scenario",
+    "buffer_never_binds",
+    "classify_stability",
+    "from_scenario",
+    "mixed_reduced_rhs",
+    "reference_network",
     "Equilibrium",
     "bbr1_deep_buffer_equilibrium",
     "bbr1_shallow_buffer_equilibrium",

@@ -21,6 +21,12 @@ Examples::
     repro-bbr store summary results.sqlite
     repro-bbr status results.sqlite --mixes BBRv1 --seeds 5
     repro-bbr status --preset examples/presets/fluid-quick.yaml
+    repro-bbr sweep --substrate analytic --mixes BBRv1 BBRv2 --store results.jsonl
+    repro-bbr sweep --prune-analytic --buffers 1 60 80 --mixes BBRv1
+    repro-bbr campaign --store shard0.jsonl --shard-index 0 --shard-count 2
+    repro-bbr store merge shard0.jsonl shard1.jsonl merged.sqlite
+    repro-bbr stability --flow-counts 2 10 --buffers 0.25 1 4 --json
+    repro-bbr stability --store results.jsonl --csv phase.csv
     repro-bbr theorems
     repro-bbr check
     repro-bbr check --json
@@ -58,6 +64,22 @@ that topology family.  Chains may be heterogeneous:
 ``--hop-capacities``/``--hop-delays``/``--hop-disciplines`` take one
 comma-separated value per hop (validated against ``--hops``).
 
+``--substrate analytic`` swaps every grid point from simulation to the
+paper's equilibrium/stability theory (:mod:`repro.analysis`): each point
+stores the predicted metrics plus an ``analysis`` block (regime, theorems,
+classification, eigenvalues).  ``--prune-analytic`` on ``sweep`` /
+``campaign`` runs an analytic pre-pass over the grid and serves points
+whose buffer provably never binds from one representative run (the alias
+is recorded in the store's meta).  ``--shard-index I --shard-count K``
+deterministically partitions any grid into K disjoint slices by stored
+scenario key, so shards run on independent machines and their stores
+merge back losslessly with ``store merge SRC... DEST`` (last-write-wins
+in argument order; results supersede failure rows).  ``stability``
+renders the analytic stable/oscillatory phase diagram over a buffer x
+RTT x flow-count grid and — given ``--store`` — validates the
+predictions against the store's simulation rows, exiting 1 on residuals
+beyond the documented thresholds.
+
 ``campaign --trace FILE`` appends a JSON-lines telemetry span log (spans,
 counters, executor progress — workers included) that ``trace export
 --chrome`` converts for chrome://tracing; tracing never changes results.
@@ -88,7 +110,7 @@ from . import units
 from .config import ARRIVAL_PROCESSES, SIZE_DISTRIBUTIONS
 from .core.simulator import simulate
 from .emulation.runner import emulate
-from .experiments import figures, presets, report, scenarios, sweep
+from .experiments import figures, phase, presets, report, scenarios, sweep
 from .experiments.backends import BACKENDS
 from .experiments.executor import ExecutorPolicy
 from .experiments.store import SweepStore, resolve_store
@@ -166,6 +188,35 @@ def _add_replication_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="fan uncached sweep points out to N worker processes",
+    )
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="compute only the I-th of --shard-count deterministic grid "
+        "slices (0-based; partitioned by stored scenario key)",
+    )
+    parser.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition the grid into K disjoint slices; disjoint shard "
+        "stores merge back with 'repro-bbr store merge'",
+    )
+
+
+def _add_prune_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--prune-analytic",
+        action="store_true",
+        help="analytic grid pre-pass: serve points whose buffer provably "
+        "never binds from one representative run (aliases recorded in "
+        "the store meta)",
     )
 
 
@@ -294,7 +345,9 @@ def _add_churn_axis_flags(parser: argparse.ArgumentParser) -> None:
 
 def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     parser = subparsers.add_parser("sweep", help="run the aggregate-validation sweep")
-    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="fluid")
+    parser.add_argument(
+        "--substrate", choices=["fluid", "emulation", "analytic"], default="fluid"
+    )
     parser.add_argument("--buffers", type=float, nargs="+", default=list(figures.DEFAULT_SWEEP_BUFFERS))
     parser.add_argument("--mixes", nargs="+", default=list(scenarios.CCA_MIXES))
     parser.add_argument("--disciplines", nargs="+", default=list(scenarios.DISCIPLINES))
@@ -304,6 +357,8 @@ def _add_sweep_parser(subparsers: argparse._SubParsersAction) -> None:
     _add_replication_flags(parser)
     _add_topology_axis_flags(parser)
     _add_churn_axis_flags(parser)
+    _add_prune_flag(parser)
+    _add_shard_flags(parser)
     _add_logging_flags(parser)
 
 
@@ -325,7 +380,11 @@ def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
         "campaign",
         help="run (or resume) a seed-replicated sweep over the full grid and export it",
     )
-    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="emulation")
+    parser.add_argument(
+        "--substrate",
+        choices=["fluid", "emulation", "analytic"],
+        default="emulation",
+    )
     parser.add_argument(
         "--buffers", type=float, nargs="+", default=list(scenarios.BUFFER_SWEEP_BDP)
     )
@@ -354,6 +413,8 @@ def _add_campaign_parser(subparsers: argparse._SubParsersAction) -> None:
     _add_replication_flags(parser)
     _add_topology_axis_flags(parser)
     _add_churn_axis_flags(parser)
+    _add_prune_flag(parser)
+    _add_shard_flags(parser)
     parser.add_argument(
         "--retries",
         type=int,
@@ -472,6 +533,24 @@ def _add_store_parser(subparsers: argparse._SubParsersAction) -> None:
     summary.add_argument(
         "--json", action="store_true", help="emit the summary as a JSON document"
     )
+    merge = store_sub.add_parser(
+        "merge",
+        help="merge one or more source stores into a destination store "
+        "(last-write-wins in argument order; results supersede failures)",
+    )
+    merge.add_argument(
+        "stores",
+        nargs="+",
+        metavar="SRC... DEST",
+        help="source store paths followed by the destination (backends may "
+        "differ freely; force one with a backend: prefix)",
+    )
+    merge.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="force the destination backend (default: inferred from the path)",
+    )
 
 
 def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -500,7 +579,11 @@ def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
         default=None,
         help="force the store backend (default: inferred from the path)",
     )
-    parser.add_argument("--substrate", choices=["fluid", "emulation"], default="emulation")
+    parser.add_argument(
+        "--substrate",
+        choices=["fluid", "emulation", "analytic"],
+        default="emulation",
+    )
     parser.add_argument(
         "--buffers", type=float, nargs="+", default=list(scenarios.BUFFER_SWEEP_BDP)
     )
@@ -517,8 +600,82 @@ def _add_status_parser(subparsers: argparse._SubParsersAction) -> None:
     )
     _add_topology_axis_flags(parser)
     _add_churn_axis_flags(parser)
+    _add_shard_flags(parser)
     parser.add_argument(
         "--json", action="store_true", help="emit the status as a JSON document"
+    )
+
+
+def _add_stability_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "stability",
+        help="analytic stable/oscillatory phase diagram over a buffer x RTT "
+        "x flow-count grid, optionally validated against a store",
+    )
+    parser.add_argument(
+        "--versions",
+        nargs="+",
+        choices=list(phase.DEFAULT_VERSIONS),
+        default=list(phase.DEFAULT_VERSIONS),
+    )
+    parser.add_argument(
+        "--flow-counts",
+        type=int,
+        nargs="+",
+        default=list(phase.DEFAULT_FLOW_COUNTS),
+        metavar="N",
+    )
+    parser.add_argument(
+        "--rtts-ms",
+        type=float,
+        nargs="+",
+        default=list(phase.DEFAULT_RTTS_MS),
+        metavar="MS",
+    )
+    parser.add_argument(
+        "--buffers",
+        type=float,
+        nargs="+",
+        default=list(phase.DEFAULT_BUFFERS_BDP),
+        metavar="BDP",
+    )
+    parser.add_argument("--capacity-mbps", type=float, default=100.0)
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="validate the predictions against this store's simulation rows "
+        "(exit 1 when any row disagrees beyond the documented thresholds)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="force the store backend (default: inferred from the path)",
+    )
+    parser.add_argument(
+        "--substrate",
+        choices=["fluid", "emulation"],
+        default=None,
+        help="restrict validation to one simulation substrate",
+    )
+    parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        help="write the phase-diagram rows to this CSV file",
+    )
+    parser.add_argument(
+        "--validation-csv",
+        type=str,
+        default=None,
+        help="write the prediction-vs-simulation residual rows to this CSV file",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the phase diagram and validation as a JSON document",
     )
 
 
@@ -580,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_parser(subparsers)
     _add_store_parser(subparsers)
     _add_status_parser(subparsers)
+    _add_stability_parser(subparsers)
     _add_theorem_parser(subparsers)
     _add_check_parser(subparsers)
     return parser
@@ -668,12 +826,23 @@ def _run_sweep(args: argparse.Namespace) -> int:
             flow_size_dist=args.flow_size_dist,
             load=args.load,
             flows=args.flows,
+            prune_analytic=args.prune_analytic,
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     rows = [point.row() for point in points]
     if not rows:
+        if args.shard_count is not None:
+            # An empty shard is a legitimate outcome of hash partitioning
+            # on a small grid: this worker simply has nothing to do.
+            print(
+                f"shard {args.shard_index}/{args.shard_count} contains "
+                "no grid points"
+            )
+            return 0
         print(
             "sweep produced no points; check --mixes/--buffers/--disciplines",
             file=sys.stderr,
@@ -867,6 +1036,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
             executor=policy,
             retry_failed=retry_failed,
             trace=args.trace,
+            prune_analytic=args.prune_analytic,
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -877,6 +1049,14 @@ def _run_campaign(args: argparse.Namespace) -> int:
     points, failures = result.points, result.failures
     rows = [point.row() for point in points]
     if not rows and not failures:
+        if args.shard_count is not None:
+            # Hash partitioning can leave a worker's slice empty on small
+            # grids; that is a completed (trivial) campaign, not an error.
+            print(
+                f"shard {args.shard_index}/{args.shard_count} contains "
+                "no grid points"
+            )
+            return 0
         print(
             "campaign produced no points; check --mixes/--buffers/--disciplines",
             file=sys.stderr,
@@ -1087,7 +1267,54 @@ def _open_existing_store(spec: str, backend: str | None) -> SweepStore:
     return SweepStore(spec, backend=backend)
 
 
+def _strip_backend_prefix(spec: str) -> str:
+    for prefix in BACKENDS:
+        if spec.startswith(f"{prefix}:"):
+            return spec[len(prefix) + 1 :]
+    return spec
+
+
+def _run_store_merge(args: argparse.Namespace) -> int:
+    if len(args.stores) < 2:
+        print(
+            "error: store merge needs at least one SRC and a DEST",
+            file=sys.stderr,
+        )
+        return 2
+    *sources, dest = args.stores
+    dest_path = Path(_strip_backend_prefix(dest)).resolve()
+    for spec in sources:
+        if Path(_strip_backend_prefix(spec)).resolve() == dest_path:
+            print(
+                f"error: destination {dest} is also a merge source",
+                file=sys.stderr,
+            )
+            return 2
+    dest_store = SweepStore(dest, backend=args.backend)
+    try:
+        for spec in sources:
+            try:
+                src_store = _open_existing_store(spec, None)
+            except FileNotFoundError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            try:
+                results, failures = dest_store.merge_from(src_store)
+            finally:
+                src_store.close()
+            print(f"merged {spec}: {results} result(s), {failures} failure(s)")
+        print(
+            f"store: {dest_store.path} ({len(dest_store)} points, "
+            f"{len(dest_store.failures())} open failures)"
+        )
+    finally:
+        dest_store.close()
+    return 0
+
+
 def _run_store(args: argparse.Namespace) -> int:
+    if args.store_command == "merge":
+        return _run_store_merge(args)
     try:
         store = _open_existing_store(args.path, args.backend)
     except FileNotFoundError as exc:
@@ -1145,6 +1372,8 @@ def _run_status(args: argparse.Namespace) -> int:
             flow_size_dist=args.flow_size_dist,
             load=args.load,
             flows=args.flows,
+            shard_index=args.shard_index,
+            shard_count=args.shard_count,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1267,6 +1496,84 @@ def _run_check(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _run_stability(args: argparse.Namespace) -> int:
+    try:
+        rows = phase.phase_grid(
+            versions=args.versions,
+            flow_counts=args.flow_counts,
+            rtts_ms=args.rtts_ms,
+            buffers_bdp=args.buffers,
+            capacity_mbps=args.capacity_mbps,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    validation: list[dict] = []
+    if args.store:
+        try:
+            store = _open_existing_store(args.store, args.backend)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            validation = phase.validate_against_store(
+                store, substrate=args.substrate
+            )
+        finally:
+            store.close()
+    disagreements = [row for row in validation if not row["agrees"]]
+    if args.json:
+        print(
+            json.dumps(
+                phase.json_safe(
+                    {
+                        "phase": rows,
+                        "validation": validation,
+                        "thresholds": dict(phase.DEFAULT_THRESHOLDS),
+                        "disagreements": len(disagreements),
+                    }
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(report.format_table(list(rows[0].keys()), [list(r.values()) for r in rows]))
+        if validation:
+            limits = ", ".join(
+                f"|{metric}| <= {limit}"
+                for metric, limit in phase.DEFAULT_THRESHOLDS.items()
+            )
+            print()
+            print(f"validation against store rows (residual thresholds: {limits}):")
+            print(
+                report.format_table(
+                    list(validation[0].keys()),
+                    [list(r.values()) for r in validation],
+                )
+            )
+    if args.csv:
+        path = report.write_csv(args.csv, rows)
+        print(f"wrote {path}")
+    if args.validation_csv and validation:
+        path = report.write_csv(args.validation_csv, validation)
+        print(f"wrote {path}")
+    if args.store and not validation:
+        print(
+            "no validatable simulation rows in the store (needs pure-BBR "
+            "droptail dumbbell records)",
+            file=sys.stderr,
+        )
+    if disagreements:
+        obs_log.error(
+            "stability.disagreements",
+            f"{len(disagreements)} store row(s) disagree with the analytic "
+            "prediction beyond the documented thresholds",
+        )
+        return 1
+    return 0
+
+
 def _run_theorems(args: argparse.Namespace) -> int:
     rows = figures.theorem_table(flow_counts=args.flows, propagation_delay_s=args.delay)
     if not rows:
@@ -1293,6 +1600,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "topology": _run_topology,
         "store": _run_store,
         "status": _run_status,
+        "stability": _run_stability,
         "theorems": _run_theorems,
         "check": _run_check,
     }

@@ -76,6 +76,14 @@ ALLOWED_UNHASHED: dict[tuple[str, str, str], str] = {
         "fluid substrate is deterministic; seed replicas of schedule-free "
         "points deliberately share one stored record"
     ),
+    # The analytic substrate computes equilibria symbolically/numerically
+    # from the scenario alone and never draws randomness at all; it shares
+    # the fluid substrate's seed normalisation so seed replicas of a
+    # schedule-free analytic point resolve to one stored prediction.
+    ("ScenarioConfig", "seed", "analytic"): (
+        "analytic substrate is deterministic; seed replicas of schedule-free "
+        "points deliberately share one stored record"
+    ),
 }
 
 #: ``run_point``/``run_sweep`` parameters that steer *execution*, not the
@@ -99,6 +107,22 @@ EXECUTION_PARAMS: dict[str, str] = {
         "scenario keys and metric values are bit-identical with tracing on "
         "or off"
     ),
+    "prune_analytic": (
+        "grid pre-pass that serves provably-identical points from an "
+        "analytically certified twin; pruned rows are stored under their "
+        "own unchanged scenario keys with a 'pruned' provenance block, so "
+        "the stored results are the same with pruning on or off"
+    ),
+    "shard_index": (
+        "which slice of the grid this worker computes; sharding partitions "
+        "the task list by stored scenario key without changing any key or "
+        "any result"
+    ),
+    "shard_count": (
+        "how many slices the grid is partitioned into; execution placement "
+        "only — disjoint shards merge back into one store via "
+        "'repro-bbr store merge'"
+    ),
 }
 
 #: Plural grid axes of ``run_sweep`` and the per-point parameter each
@@ -109,7 +133,7 @@ SWEEP_AXIS_ALIASES: dict[str, str] = {
     "disciplines": "discipline",
 }
 
-SUBSTRATES = ("fluid", "emulation")
+SUBSTRATES = ("fluid", "emulation", "analytic")
 
 #: Committed fingerprint of the hashed-field set (next to this module).
 FINGERPRINT_FILE = Path(__file__).with_name("schema_fingerprint.json")

@@ -26,16 +26,10 @@ from typing import Any
 import numpy as np
 
 from ..analysis import (
-    SingleBottleneck,
-    bbr1_deep_buffer_equilibrium,
-    bbr1_shallow_buffer_equilibrium,
-    bbr1_shallow_buffer_loss_fraction,
-    bbr2_fair_equilibrium,
+    analyze_network,
     bbr2_queue_reduction_vs_bbr1,
-    check_bbr1_deep_buffer_stability,
-    check_bbr1_shallow_buffer_stability,
-    check_bbr2_stability,
     integrate_reduced,
+    reference_network,
 )
 from ..core.simulator import simulate
 from ..emulation.runner import emulate
@@ -289,25 +283,59 @@ def theorem_table(
     propagation_delay_s: float = 0.035,
     capacity_mbps: float = 100.0,
 ) -> list[dict[str, Any]]:
-    """Equilibria and stability of Theorems 1-5 for a range of flow counts."""
-    capacity_pps = capacity_mbps * 1e6 / (1500 * 8)
+    """Equilibria and stability of Theorems 1-5 for a range of flow counts.
+
+    Built on the campaign-facing :func:`~repro.analysis.analyze_network`
+    dispatcher (one network per theorem regime), so this table exercises
+    the same closed-form dispatch that the analytic sweep substrate and
+    ``repro-bbr stability`` run at campaign scale: a deep buffer selects
+    Theorems 1+2, a shallow one Theorem 3, and BBRv2's fair point
+    Theorems 4+5.
+    """
     rows = []
     for n in flow_counts:
-        net = SingleBottleneck(capacity_pps, (propagation_delay_s,) * n)
-        deep = bbr1_deep_buffer_equilibrium(net)
-        shallow = bbr1_shallow_buffer_equilibrium(net)
-        fair_v2 = bbr2_fair_equilibrium(net)
+        # Buffers picked inside each theorem's hypotheses: deep means
+        # B >= d C (Thm 1), shallow B <= (3/5) d C (Thm 3), and BBRv2's
+        # fair point needs only B >= (N-1)/(4N+1) d C < 1 BDP (Thm 4).
+        deep = analyze_network(
+            ("bbr1",) * n,
+            reference_network(
+                n, rtt_s=propagation_delay_s, capacity_mbps=capacity_mbps
+            ),
+        )
+        shallow = analyze_network(
+            ("bbr1",) * n,
+            reference_network(
+                n,
+                rtt_s=propagation_delay_s,
+                capacity_mbps=capacity_mbps,
+                buffer_bdp=0.5,
+            ),
+        )
+        fair_v2 = analyze_network(
+            ("bbr2",) * n,
+            reference_network(
+                n, rtt_s=propagation_delay_s, capacity_mbps=capacity_mbps
+            ),
+        )
+        capacity_pps = deep.capacity_pps
+        bdp_pkts = capacity_pps * propagation_delay_s
+        assert (deep.theorems, shallow.theorems, fair_v2.theorems) == (
+            "1+2",
+            "3",
+            "4+5",
+        ), "reference networks must land inside the closed-form regimes"
         rows.append(
             {
                 "num_flows": n,
-                "thm1_queue_bdp": deep.queue_pkts / (capacity_pps * propagation_delay_s),
-                "thm2_stable": check_bbr1_deep_buffer_stability(propagation_delay_s).asymptotically_stable,
+                "thm1_queue_bdp": deep.queue_pkts / bdp_pkts,
+                "thm2_stable": deep.max_real_part < 0,
                 "thm3_rate_share": shallow.rates_pps[0] / capacity_pps,
-                "thm3_loss_fraction": bbr1_shallow_buffer_loss_fraction(n),
-                "thm3_stable": check_bbr1_shallow_buffer_stability(n).asymptotically_stable,
-                "thm4_queue_bdp": fair_v2.queue_pkts / (capacity_pps * propagation_delay_s),
+                "thm3_loss_fraction": shallow.loss_fraction,
+                "thm3_stable": shallow.max_real_part < 0,
+                "thm4_queue_bdp": fair_v2.queue_pkts / bdp_pkts,
                 "thm4_queue_reduction": bbr2_queue_reduction_vs_bbr1(n),
-                "thm5_stable": check_bbr2_stability(n, propagation_delay_s).asymptotically_stable,
+                "thm5_stable": fair_v2.max_real_part < 0,
             }
         )
     return rows
@@ -321,8 +349,10 @@ def convergence_demo(
     duration_s: float = 60.0,
 ) -> dict[str, Any]:
     """Numerically integrate a reduced model from a perturbed state to its equilibrium."""
-    capacity_pps = capacity_mbps * 1e6 / (1500 * 8)
-    net = SingleBottleneck(capacity_pps, (propagation_delay_s,) * num_flows)
+    net = reference_network(
+        num_flows, rtt_s=propagation_delay_s, capacity_mbps=capacity_mbps
+    )
+    capacity_pps = net.capacity_pps
     rng_free_perturbation = np.linspace(0.5, 1.5, num_flows)
     x0 = capacity_pps / num_flows * rng_free_perturbation
     time, states = integrate_reduced(version, net, x0, queue0=0.0, duration_s=duration_s)

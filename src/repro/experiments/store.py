@@ -238,6 +238,32 @@ class SweepStore:
             out.append(row)
         return out
 
+    def merge_from(self, source: SweepStore) -> tuple[int, int]:
+        """Merge another store's records into this one (last-write-wins).
+
+        Replays the source's result records and its not-yet-superseded
+        failure rows through this store's backend, so the backends' own
+        key semantics apply: a result overwrites any earlier result *or*
+        failure under the same key, while a merged failure never shadows
+        an existing result.  Merging N stores in CLI order is therefore
+        the multi-store generalisation of ``compact()``'s single-store
+        last-write-wins.  Backends may differ freely between the two
+        stores.  Returns ``(results, failures)`` counts merged.
+
+        Requires exclusive access to the destination (no concurrent
+        campaign writers), like :meth:`compact`.
+        """
+        merged_results = 0
+        merged_failures = 0
+        with TELEMETRY.span("store.merge", backend=self.backend):
+            for record in source.records():
+                self._backend.put(dict(record))
+                merged_results += 1
+            for record in source.failures():
+                self._backend.put_failure(dict(record))
+                merged_failures += 1
+        return merged_results, merged_failures
+
     def compact(self) -> None:
         """Drop stale-schema and superseded records from disk.
 

@@ -43,6 +43,7 @@ The grid is embarrassingly parallel and is exploited two ways:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from collections.abc import Iterable, Sequence
@@ -58,10 +59,17 @@ from ..metrics.aggregate import (
 )
 from ..obs import TELEMETRY, RuntimeCapture
 from . import scenarios
+from .backends import shard_of
 from .executor import ExecutorPolicy, PointFailure, ResilientExecutor
 from .store import SweepStore, resolve_store, scenario_key
 
-SUBSTRATES = ("fluid", "emulation")
+#: ``"analytic"`` runs no simulation at all: each grid point is handed to
+#: :func:`repro.analysis.analyze_scenario`, and the equilibrium prediction
+#: (rates/queue/loss mapped onto the same :class:`AggregateMetrics` columns)
+#: plus the stability classification land in the cache/store like any other
+#: substrate's rows (the substrate name is part of every key, so analytic
+#: rows never alias simulation rows).
+SUBSTRATES = ("fluid", "emulation", "analytic")
 
 #: Upper bound on how many scenarios are stacked into one batched
 #: integration (bounds the working-set memory of the recording buffers).
@@ -112,6 +120,12 @@ class SweepPoint:
     #: point was served from a cache or store.  Excluded from equality so
     #: identical results compare equal regardless of where they ran.
     runtime: dict | None = field(default=None, compare=False, repr=False)
+    #: Analysis block of an analytic-substrate point (equilibrium regime,
+    #: stability classification, max Re lambda, eigenvalues); ``None`` on
+    #: the simulation substrates and for store-served rows.  Persisted in
+    #: the store meta under ``"analysis"``; excluded from equality like
+    #: ``runtime``.
+    analysis: dict | None = field(default=None, compare=False, repr=False)
 
     def row(self) -> dict[str, float | str]:
         """Flatten into a CSV-friendly dictionary."""
@@ -306,7 +320,9 @@ def _cache_key(
     # parameters — and across seeds, EXCEPT when a flow schedule draws
     # random arrivals/sizes: materialisation then consumes the seed on both
     # substrates, so fluid seed replicas are genuinely distinct points.
-    if substrate == "fluid":
+    # The analytic substrate is deterministic in exactly the same sense
+    # (and rejects schedules outright), so it shares the normalisation.
+    if substrate in ("fluid", "analytic"):
         if not (arrivals == "poisson" or flow_size_dist == "pareto"):
             seed = 1
         record_interval_s = DEFAULT_RECORD_INTERVAL_S
@@ -359,6 +375,30 @@ def _seed_list(seeds: int | Sequence[int]) -> list[int]:
     if len(set(out)) != len(out):
         raise ValueError("seeds must be distinct")
     return out
+
+
+def validate_shard(
+    shard_index: int | None, shard_count: int | None
+) -> tuple[int | None, int | None]:
+    """Validate the deterministic grid-partitioning axis.
+
+    Both values must be set together; ``shard_index`` must lie in
+    ``[0, shard_count)``.  Returns the normalised pair (``(None, None)``
+    when sharding is off).
+    """
+    if (shard_index is None) != (shard_count is None):
+        raise ValueError("shard_index and shard_count must be set together")
+    if shard_count is None:
+        return None, None
+    shard_index, shard_count = int(shard_index), int(shard_count)
+    if shard_count < 1:
+        raise ValueError("shard_count must be at least 1")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index must be in [0, shard_count): got index {shard_index} "
+            f"with {shard_count} shard(s)"
+        )
+    return shard_index, shard_count
 
 
 def _point_config(
@@ -549,6 +589,11 @@ def run_point(
     arrivals, flow_size_dist, load, flows = normalize_churn_axis(
         arrivals, flow_size_dist, load, flows
     )
+    if substrate == "analytic" and arrivals is not None:
+        raise ValueError(
+            "the analytic substrate predicts steady states; churn workloads "
+            "(arrivals/flow_size_dist/load/flows) have no equilibrium to analyze"
+        )
     # ``topology=None`` is the legacy dumbbell grid, where per-hop lists
     # have nothing to apply to — validate them under the same rule.
     hop_capacities, hop_delays, hop_disciplines = scenarios.validate_hop_axis(
@@ -613,36 +658,45 @@ def run_point(
     )
     metrics = None
     runtime: dict | None = None
+    analysis_block: dict | None = None
     if store is not None:
         skey = scenario_key(config, substrate, record_interval_s, scheduler)
         metrics = store.get(skey)
     if metrics is None:
         with RuntimeCapture() as rt:
-            if substrate == "fluid":
-                sim = FluidSimulator(config)
-                trace = sim.run()
-                counters = dict(sim.runtime)
+            if substrate == "analytic":
+                # Lazy import: the analysis layer pulls in scipy, which the
+                # simulation substrates never need.
+                from .. import analysis as _analysis
+
+                prediction = _analysis.analyze_scenario(config)
+                metrics = prediction.metrics()
+                analysis_block = prediction.as_meta()
+                counters = {"flows": config.num_flows}
             else:
-                runner = EmulationRunner(
-                    config, record_interval_s=record_interval_s, scheduler=scheduler
-                )
-                trace = runner.run()
-                counters = runner.runtime_counters()
-            metrics = aggregate_metrics(trace)
+                if substrate == "fluid":
+                    sim = FluidSimulator(config)
+                    trace = sim.run()
+                    counters = dict(sim.runtime)
+                else:
+                    runner = EmulationRunner(
+                        config, record_interval_s=record_interval_s, scheduler=scheduler
+                    )
+                    trace = runner.run()
+                    counters = runner.runtime_counters()
+                metrics = aggregate_metrics(trace)
         runtime = rt.block(counters)
         if store is not None:
-            store.put(
-                skey,
-                metrics,
-                meta=_store_meta(
-                    mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
-                    dt, whi_init_bdp, seed, record_interval_s, scheduler,
-                    topology, hops, cross_flows,
-                    hop_capacities, hop_delays, hop_disciplines,
-                    arrivals, flow_size_dist, load, flows,
-                ),
-                runtime=runtime,
+            meta = _store_meta(
+                mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
+                dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                topology, hops, cross_flows,
+                hop_capacities, hop_delays, hop_disciplines,
+                arrivals, flow_size_dist, load, flows,
             )
+            if analysis_block is not None:
+                meta["analysis"] = analysis_block
+            store.put(skey, metrics, meta=meta, runtime=runtime)
     point = SweepPoint(
         mix=mix,
         buffer_bdp=buffer_bdp,
@@ -651,6 +705,7 @@ def run_point(
         metrics=metrics,
         seed=seed,
         runtime=runtime,
+        analysis=analysis_block,
     )
     if use_cache:
         _CACHE[key] = point
@@ -684,6 +739,9 @@ def _run_grid(
     executor: ExecutorPolicy | None = None,
     retry_failed: bool = True,
     trace: str | Path | None = None,
+    prune_analytic: bool = False,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
 ) -> tuple[list[SweepPoint] | list[SummaryPoint], list[CampaignFailure]]:
     """Shared grid engine behind :func:`run_sweep` and :func:`run_campaign`.
 
@@ -709,6 +767,13 @@ def _run_grid(
         hops, hop_capacities, hop_delays, hop_disciplines,
         preset=topology or "dumbbell",
     )
+    shard_index, shard_count = validate_shard(shard_index, shard_count)
+    if prune_analytic and substrate == "emulation":
+        raise ValueError(
+            "prune_analytic applies to the fluid and analytic substrates; the "
+            "trajectory-equivalence certificate is proven for the reduced "
+            "fluid model, not the packet emulator"
+        )
     store = resolve_store(store)
     mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
     buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
@@ -742,6 +807,27 @@ def _run_grid(
             hop_capacities, hop_delays, hop_disciplines,
             arrivals, flow_size_dist, load, flows,
         )
+
+    def task_config(task: tuple):
+        discipline, mix, buffer_bdp, seed = task
+        return _point_config(
+            mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
+            whi_init_bdp, seed, topology, hops, cross_flows,
+            hop_capacities, hop_delays, hop_disciplines,
+            arrivals, flow_size_dist, load, flows,
+        )
+
+    def point_key(task: tuple) -> str:
+        return scenario_key(task_config(task), substrate, record_interval_s, scheduler)
+
+    if shard_count is not None:
+        # Deterministic grid partitioning: this process takes only the
+        # points whose scenario key hashes into its shard, so K hosts can
+        # split one grid and ``store merge`` reassembles the result set.
+        tasks = [
+            task for task in tasks
+            if shard_of(point_key(task), shard_count) == shard_index
+        ]
 
     results: dict[tuple, SweepPoint] = {}
     pending: list[tuple] = []
@@ -780,27 +866,77 @@ def _run_grid(
         pending.append(task)
         pending_keys.add(key)
 
-    def persist(task: tuple, point: SweepPoint) -> None:
+    # Analytic pre-pass pruner: group the pending points whose buffer
+    # provably never binds (see :func:`repro.analysis.buffer_never_binds`).
+    # Within a group the trajectory — and hence every metric except the
+    # occupancy normalisation — is independent of the buffer size, so one
+    # member (the *primary*) is computed and the rest become aliases,
+    # materialised from the primary's result after the dispatch below.
+    alias_of: dict[tuple, tuple] = {}
+    if prune_analytic and pending:
+        from .. import analysis as _analysis
+
+        def _certificate(task: tuple) -> str | None:
+            config = task_config(task)
+            if not _analysis.buffer_never_binds(config):
+                return None
+            # All group members share the scenario up to the buffer size;
+            # key the group by the buffer-free scenario.
+            return scenario_key(
+                config.with_buffer(float("inf")), substrate, record_interval_s, scheduler
+            )
+
+        certified: dict[str, list[tuple]] = {}
+        kept: list[tuple] = []
+        for task in pending:
+            signature = _certificate(task)
+            if signature is None:
+                kept.append(task)
+            else:
+                certified.setdefault(signature, []).append(task)
+        # A point already resolved (cache/store) with the same certificate
+        # can serve as the group's primary without computing anything.
+        # (Infinite-buffer rows are excluded: their occupancy column cannot
+        # be rescaled onto a finite alias.)
+        resolved: dict[str, tuple] = {}
+        for task in results:
+            if math.isinf(task[2]):
+                continue
+            signature = _certificate(task)
+            if signature is not None and signature not in resolved:
+                resolved[signature] = task
+        for signature, group in certified.items():
+            primary = resolved.get(signature)
+            if primary is None:
+                # Prefer the smallest finite buffer: its occupancy column
+                # rescales to every larger alias without extrapolation.
+                primary = min(group, key=lambda t: (math.isinf(t[2]), t[2]))
+                kept.append(primary)
+            for task in group:
+                if task != primary:
+                    alias_of[task] = primary
+        pending = kept
+
+    def persist(task: tuple, point: SweepPoint, extra_meta: dict | None = None) -> None:
         """Land one computed point: in-process cache + persistent store."""
         results[task] = _CACHE[task_key(task)] = point
         if store is not None:
             discipline, mix, buffer_bdp, seed = task
-            config = _point_config(
-                mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-                whi_init_bdp, seed, topology, hops, cross_flows,
+            meta = _store_meta(
+                mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
+                dt, whi_init_bdp, seed, record_interval_s, scheduler,
+                topology, hops, cross_flows,
                 hop_capacities, hop_delays, hop_disciplines,
                 arrivals, flow_size_dist, load, flows,
             )
+            if point.analysis is not None:
+                meta["analysis"] = point.analysis
+            if extra_meta:
+                meta.update(extra_meta)
             store.put(
-                scenario_key(config, substrate, record_interval_s, scheduler),
+                point_key(task),
                 point.metrics,
-                meta=_store_meta(
-                    mix, buffer_bdp, discipline, substrate, short_rtt, duration_s,
-                    dt, whi_init_bdp, seed, record_interval_s, scheduler,
-                    topology, hops, cross_flows,
-                    hop_capacities, hop_delays, hop_disciplines,
-                    arrivals, flow_size_dist, load, flows,
-                ),
+                meta=meta,
                 runtime=point.runtime,
             )
 
@@ -812,16 +948,6 @@ def _run_grid(
         policy = replace(policy, workers=workers)
 
     exec_failures: list[PointFailure] = []
-
-    def point_key(task: tuple) -> str:
-        discipline, mix, buffer_bdp, seed = task
-        config = _point_config(
-            mix, buffer_bdp, discipline, short_rtt, duration_s, dt,
-            whi_init_bdp, seed, topology, hops, cross_flows,
-            hop_capacities, hop_delays, hop_disciplines,
-            arrivals, flow_size_dist, load, flows,
-        )
-        return scenario_key(config, substrate, record_interval_s, scheduler)
 
     # ``retry_failed=False`` resume semantics: points whose last attempt is
     # recorded as a *failure* row are reported again without recomputation,
@@ -934,6 +1060,49 @@ def _run_grid(
         # timeouts and skip semantics still apply; no pool is spawned).
         execute(pending)
 
+    # Materialise pruned aliases from their primaries: same metrics with
+    # the occupancy column rescaled to the alias's own buffer, persisted
+    # with a ``pruned`` meta block recording the aliasing.  A result row
+    # supersedes any stale failure row for the alias in the store.
+    for task, primary in alias_of.items():
+        source = results.get(primary)
+        if source is None:
+            # The primary itself failed or was skipped; the alias simply
+            # stays uncomputed (and unrecorded) this run.
+            continue
+        discipline, mix, buffer_bdp, seed = task
+        primary_buffer = primary[2]
+        occupancy = source.metrics.buffer_occupancy_percent
+        if math.isinf(buffer_bdp):
+            occupancy = 0.0
+        elif not math.isnan(occupancy):
+            occupancy = min(100.0, occupancy * (primary_buffer / buffer_bdp))
+        TELEMETRY.count("sweep.pruned_points")
+        persist(
+            task,
+            SweepPoint(
+                mix=mix,
+                buffer_bdp=buffer_bdp,
+                discipline=discipline,
+                substrate=substrate,
+                metrics=replace(source.metrics, buffer_occupancy_percent=occupancy),
+                seed=seed,
+                runtime=None,
+                analysis=source.analysis,
+            ),
+            extra_meta={
+                "pruned": {
+                    "aliased_to": point_key(primary),
+                    "primary_buffer_bdp": primary_buffer,
+                    "reason": (
+                        "buffer never binds: inflight is provably below every "
+                        "buffer in the group, so the trajectory is identical "
+                        "up to occupancy normalisation"
+                    ),
+                }
+            },
+        )
+
     for task in duplicates:
         # A duplicate's primary may itself have failed; it then simply has
         # no result to share.
@@ -1028,6 +1197,9 @@ def run_sweep(
     executor: ExecutorPolicy | None = None,
     retry_failed: bool = True,
     trace: str | Path | None = None,
+    prune_analytic: bool = False,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
 ) -> list[SweepPoint] | list[SummaryPoint]:
     """Run the full (or a reduced) aggregate-validation sweep.
 
@@ -1078,6 +1250,17 @@ def run_sweep(
     event is appended there (``repro-bbr trace export --chrome`` converts
     it for chrome://tracing).  Tracing never changes results — scenario
     keys and metric values are bit-identical with an untraced run.
+
+    ``prune_analytic`` runs an analytic pre-pass over the grid: points
+    whose buffer provably never binds (see
+    :func:`repro.analysis.buffer_never_binds`) share one computed primary
+    per group, with the aliases materialised from it (occupancy rescaled)
+    and recorded in the store with a ``pruned`` meta block.
+
+    ``shard_index``/``shard_count`` partition the grid deterministically by
+    scenario-key hash (``shard_of(key, shard_count)``), so K hosts can each
+    run one shard against separate stores and ``repro-bbr store merge``
+    reassembles them.
     """
     points, _failures = _run_grid(**locals())
     return points
@@ -1110,6 +1293,9 @@ def run_campaign(
     executor: ExecutorPolicy | None = None,
     retry_failed: bool = True,
     trace: str | Path | None = None,
+    prune_analytic: bool = False,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
 ) -> CampaignResult:
     """Run a sweep grid and return points *and* structured failures.
 
@@ -1146,6 +1332,8 @@ def grid_point_keys(
     flow_size_dist: str | None = None,
     load: float | None = None,
     flows: int | None = None,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
 ) -> list[tuple[dict, str]]:
     """Enumerate a grid's ``(coords, scenario_key)`` pairs without running it.
 
@@ -1155,6 +1343,8 @@ def grid_point_keys(
     of seed-free scenarios) are deduplicated — the returned list has one
     entry per *distinct* stored record the grid would produce, so
     ``done + failed + remaining`` adds up against the store.
+    ``shard_index``/``shard_count`` restrict the enumeration to one shard,
+    mirroring the partitioning of :func:`run_sweep`.
     """
     if substrate not in SUBSTRATES:
         raise ValueError(f"unknown substrate {substrate!r}")
@@ -1165,6 +1355,7 @@ def grid_point_keys(
         hops, hop_capacities, hop_delays, hop_disciplines,
         preset=topology or "dumbbell",
     )
+    shard_index, shard_count = validate_shard(shard_index, shard_count)
     mixes = list(mixes) if mixes is not None else list(scenarios.CCA_MIXES)
     buffers = list(buffers_bdp) if buffers_bdp is not None else list(scenarios.BUFFER_SWEEP_BDP)
     disciplines = list(disciplines) if disciplines is not None else list(scenarios.DISCIPLINES)
@@ -1192,6 +1383,8 @@ def grid_point_keys(
                     if key in seen:
                         continue
                     seen.add(key)
+                    if shard_count is not None and shard_of(key, shard_count) != shard_index:
+                        continue
                     out.append(
                         (
                             {

@@ -1,0 +1,527 @@
+"""Tests of the analytic campaign layer.
+
+Covers the four layers the analytic substrate threads through:
+
+* model — :func:`from_scenario` adapters plus closed-form-vs-numerical
+  Jacobian cross-checks for Theorems 2 and 5;
+* experiments — the ``analytic`` sweep substrate, the ``--prune-analytic``
+  grid pruner and its :func:`buffer_never_binds` certificate, grid
+  sharding (:func:`validate_shard`) and ``SweepStore.merge_from``;
+* report — phase diagrams and the prediction-vs-simulation residuals of
+  :mod:`repro.experiments.phase`, including the documented agreement
+  regimes (BBRv1 deep buffer, BBRv2 deep buffer) and the documented
+  disagreement (BBRv2 at 4 BDP, whose fluid ``w_hi`` dynamics the reduced
+  model deliberately omits);
+* CLI — ``repro-bbr stability``, ``store merge`` and the shard flags,
+  including the two-shard-run → merge → ``status`` exit-0 workflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro import cli
+from repro.analysis import (
+    UnsupportedScenarioError,
+    analyze_network,
+    analyze_scenario,
+    buffer_never_binds,
+    check_bbr1_deep_buffer_stability,
+    check_bbr1_numerical_stability,
+    check_bbr2_numerical_stability,
+    check_bbr2_stability,
+    from_scenario,
+    reference_network,
+)
+from repro.config import FlowSchedule
+from repro.experiments import phase, scenarios, sweep
+from repro.experiments.store import SweepStore, scenario_key
+from repro.metrics.aggregate import AggregateMetrics
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sweep_cache():
+    """Isolate the in-process point cache and the global log level per test."""
+    sweep.clear_cache()
+    prev_level = obs_log.level()
+    yield
+    sweep.clear_cache()
+    obs_log.set_level(prev_level)
+
+
+def _metrics(**overrides: float) -> AggregateMetrics:
+    base = dict(
+        jain_fairness=1.0,
+        loss_percent=0.0,
+        buffer_occupancy_percent=50.0,
+        utilization_percent=100.0,
+        jitter_ms=0.0,
+    )
+    base.update(overrides)
+    return AggregateMetrics(**base)
+
+
+class TestJacobianCrossChecks:
+    """Closed-form Jacobians vs finite-difference ones, on a parameter grid."""
+
+    @pytest.mark.parametrize("delay_s", [0.02, 0.035, 0.05, 0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("num_flows", [2, 10])
+    def test_theorem2_closed_form_matches_numerical(self, delay_s, num_flows):
+        closed = check_bbr1_deep_buffer_stability(delay_s)
+        numerical = check_bbr1_numerical_stability(
+            reference_network(num_flows, rtt_s=delay_s)
+        )
+        assert closed.asymptotically_stable
+        assert numerical.asymptotically_stable
+        scale = max(1.0, abs(closed.max_real_part))
+        assert closed.max_real_part == pytest.approx(
+            numerical.max_real_part, rel=1e-4, abs=1e-6 * scale
+        )
+
+    @pytest.mark.parametrize("delay_s", [0.02, 0.035, 0.1])
+    @pytest.mark.parametrize("num_flows", [2, 5, 10, 50])
+    def test_theorem5_closed_form_matches_numerical(self, delay_s, num_flows):
+        net = reference_network(num_flows, rtt_s=delay_s)
+        closed = check_bbr2_stability(num_flows, delay_s)
+        numerical = check_bbr2_numerical_stability(net)
+        assert closed.asymptotically_stable
+        assert numerical.asymptotically_stable
+        scale = max(1.0, abs(closed.max_real_part))
+        assert closed.max_real_part == pytest.approx(
+            numerical.max_real_part, rel=1e-4, abs=1e-6 * scale
+        )
+
+
+class TestFromScenario:
+    def test_projects_dumbbell_onto_single_bottleneck(self):
+        config = scenarios.aggregate_scenario("BBRv1", buffer_bdp=2.0, discipline="droptail")
+        net, ccas = from_scenario(config)
+        assert net.num_flows == config.num_flows
+        assert ccas == tuple(flow.cca for flow in config.flows)
+        assert set(ccas) == {"bbr1"}
+        assert net.capacity_pps == config.bottleneck.capacity_pps
+        assert net.buffer_pkts == pytest.approx(config.buffer_packets())
+        assert net.propagation_delays_s == pytest.approx(
+            tuple(config.rtt_s(i) for i in range(config.num_flows))
+        )
+
+    def test_rejects_churn_schedules(self):
+        config = dataclasses.replace(
+            scenarios.aggregate_scenario("BBRv1", buffer_bdp=1.0, discipline="droptail"),
+            schedule=FlowSchedule(arrivals="staggered", arrival_spacing_s=0.25),
+        )
+        with pytest.raises(UnsupportedScenarioError):
+            from_scenario(config)
+
+    def test_rejects_non_bbr_populations(self):
+        config = scenarios.aggregate_scenario(
+            "BBRv1/RENO", buffer_bdp=1.0, discipline="droptail"
+        )
+        with pytest.raises(UnsupportedScenarioError):
+            analyze_scenario(config)
+
+    def test_mixed_bbr_population_analyzes_numerically(self):
+        config = scenarios.aggregate_scenario(
+            "BBRv1/BBRv2", buffer_bdp=4.0, discipline="droptail"
+        )
+        point = analyze_scenario(config)
+        assert point.version == "mixed"
+        assert point.method == "numerical"
+        assert point.classification in ("stable", "oscillatory", "unstable")
+
+
+class TestAnalyticSubstrate:
+    def test_run_point_predicts_and_stores_analysis(self, tmp_path):
+        store = SweepStore(tmp_path / "analytic.jsonl")
+        point = sweep.run_point(
+            "BBRv1", 4.0, "droptail", substrate="analytic", store=store
+        )
+        assert point.substrate == "analytic"
+        assert point.analysis is not None
+        assert point.analysis["classification"] in ("stable", "oscillatory")
+        assert point.metrics.jitter_ms == 0.0
+        assert point.metrics.utilization_percent == pytest.approx(100.0)
+        (record,) = store.select()
+        assert record["meta"]["substrate"] == "analytic"
+        assert record["meta"]["analysis"] == point.analysis
+        served = sweep.run_point(
+            "BBRv1", 4.0, "droptail", substrate="analytic", store=store,
+            use_cache=False,
+        )
+        assert store.hits >= 1
+        assert served.metrics == point.metrics
+        store.close()
+
+    def test_seed_replicas_share_one_record(self, tmp_path):
+        store = SweepStore(tmp_path / "seeds.jsonl")
+        sweep.run_sweep(
+            mixes=["BBRv2"],
+            buffers_bdp=[1.0],
+            disciplines=["droptail"],
+            substrate="analytic",
+            seeds=3,
+            store=store,
+        )
+        assert len(store) == 1
+        store.close()
+
+    def test_churn_workloads_rejected(self):
+        with pytest.raises(ValueError, match="analytic substrate"):
+            sweep.run_point(
+                "BBRv1", 1.0, "droptail", substrate="analytic", arrivals="poisson"
+            )
+
+    def test_theorem_regimes_reported(self):
+        deep = analyze_network(("bbr1",) * 10, reference_network(10, buffer_bdp=4.0))
+        shallow = analyze_network(("bbr1",) * 10, reference_network(10, buffer_bdp=0.5))
+        fair = analyze_network(("bbr2",) * 10, reference_network(10, buffer_bdp=4.0))
+        assert (deep.regime, deep.theorems) == ("deep-buffer", "1+2")
+        assert (shallow.regime, shallow.theorems) == ("shallow-buffer", "3")
+        assert (fair.regime, fair.theorems) == ("fair", "4+5")
+        assert deep.queue_pkts == pytest.approx(
+            deep.capacity_pps * 0.035, rel=1e-12
+        )
+        assert shallow.loss_fraction == pytest.approx(9.0 / 50.0)
+        assert fair.queue_pkts == pytest.approx(
+            9.0 / 41.0 * fair.capacity_pps * 0.035, rel=1e-12
+        )
+
+
+class TestPruner:
+    def test_certificate_scope(self):
+        def scenario(mix="BBRv1", buffer_bdp=60.0, discipline="droptail"):
+            return scenarios.aggregate_scenario(
+                mix, buffer_bdp=buffer_bdp, discipline=discipline
+            )
+
+        assert buffer_never_binds(scenario(buffer_bdp=60.0))
+        assert buffer_never_binds(scenario(buffer_bdp=math.inf))
+        # Below the provable queue supremum the buffer may bind.
+        assert not buffer_never_binds(scenario(buffer_bdp=4.0))
+        # Outside the certificate's hypotheses: conservative False.
+        assert not buffer_never_binds(scenario(mix="BBRv2"))
+        assert not buffer_never_binds(scenario(discipline="red"))
+        literal = dataclasses.replace(
+            scenario(), fluid=dataclasses.replace(scenario().fluid, literal_xmax=True)
+        )
+        assert not buffer_never_binds(literal)
+
+    def test_pruned_points_alias_the_primary(self, tmp_path):
+        store = SweepStore(tmp_path / "pruned.jsonl")
+        points = sweep.run_sweep(
+            mixes=["BBRv1"],
+            buffers_bdp=[1.0, 60.0, 80.0],
+            disciplines=["droptail"],
+            substrate="fluid",
+            duration_s=2.0,
+            dt=1e-3,
+            prune_analytic=True,
+            store=store,
+        )
+        by_buffer = {point.buffer_bdp: point for point in points}
+        assert set(by_buffer) == {1.0, 60.0, 80.0}
+        primary, alias = by_buffer[60.0], by_buffer[80.0]
+        # The trajectory is identical; only the occupancy normalisation
+        # differs (same queue over a 80-BDP instead of a 60-BDP buffer).
+        assert alias.metrics.buffer_occupancy_percent == pytest.approx(
+            primary.metrics.buffer_occupancy_percent * 60.0 / 80.0
+        )
+        assert alias.metrics == dataclasses.replace(
+            primary.metrics,
+            buffer_occupancy_percent=alias.metrics.buffer_occupancy_percent,
+        )
+        meta = {
+            record["meta"]["buffer_bdp"]: record["meta"]
+            for record in store.select()
+        }
+        assert "pruned" not in meta[1.0]
+        assert "pruned" not in meta[60.0]
+        pruned = meta[80.0]["pruned"]
+        assert pruned["primary_buffer_bdp"] == 60.0
+        assert pruned["aliased_to"] == scenario_key(
+            scenarios.aggregate_scenario(
+                "BBRv1", buffer_bdp=60.0, discipline="droptail",
+                duration_s=2.0, dt=1e-3,
+            ),
+            "fluid",
+        )
+        store.close()
+
+    def test_sub_threshold_buffers_not_pruned(self, tmp_path):
+        store = SweepStore(tmp_path / "kept.jsonl")
+        sweep.run_sweep(
+            mixes=["BBRv1"],
+            buffers_bdp=[4.0, 6.0],
+            disciplines=["droptail"],
+            substrate="fluid",
+            duration_s=2.0,
+            dt=1e-3,
+            prune_analytic=True,
+            store=store,
+        )
+        for record in store.select():
+            assert "pruned" not in record["meta"]
+        store.close()
+
+    def test_rejected_on_emulation(self):
+        with pytest.raises(ValueError, match="prune_analytic"):
+            sweep.run_sweep(
+                mixes=["BBRv1"],
+                buffers_bdp=[1.0],
+                disciplines=["droptail"],
+                substrate="emulation",
+                prune_analytic=True,
+            )
+
+
+class TestSharding:
+    def test_validate_shard(self):
+        assert sweep.validate_shard(None, None) == (None, None)
+        assert sweep.validate_shard(1, 4) == (1, 4)
+        with pytest.raises(ValueError, match="set together"):
+            sweep.validate_shard(0, None)
+        with pytest.raises(ValueError, match="set together"):
+            sweep.validate_shard(None, 4)
+        with pytest.raises(ValueError, match="shard_index must be in"):
+            sweep.validate_shard(2, 2)
+        with pytest.raises(ValueError, match="shard_index must be in"):
+            sweep.validate_shard(-1, 2)
+        with pytest.raises(ValueError, match="at least 1"):
+            sweep.validate_shard(0, 0)
+
+    def test_shards_partition_the_grid(self, tmp_path):
+        axes = dict(
+            mixes=["BBRv1", "BBRv2"],
+            buffers_bdp=[1.0, 4.0],
+            disciplines=["droptail"],
+            substrate="analytic",
+        )
+        full = {(p.mix, p.buffer_bdp) for p in sweep.run_sweep(**axes)}
+        shards = []
+        for index in range(3):
+            shards.append(
+                {
+                    (p.mix, p.buffer_bdp)
+                    for p in sweep.run_sweep(
+                        shard_index=index, shard_count=3, **axes
+                    )
+                }
+            )
+        assert set().union(*shards) == full
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not shards[i] & shards[j]
+
+    def test_grid_point_keys_mirror_sweep_sharding(self):
+        axes = dict(
+            mixes=["BBRv1", "BBRv2"],
+            buffers_bdp=[1.0, 4.0],
+            disciplines=["droptail"],
+            substrate="analytic",
+            seeds=1,
+        )
+        full = {key for _, key in sweep.grid_point_keys(**axes)}
+        sharded = [
+            {key for _, key in sweep.grid_point_keys(shard_index=i, shard_count=2, **axes)}
+            for i in range(2)
+        ]
+        assert sharded[0] | sharded[1] == full
+        assert not sharded[0] & sharded[1]
+
+
+class TestStoreMerge:
+    def test_last_write_wins_across_backends(self, tmp_path):
+        src = SweepStore(tmp_path / "src.jsonl")
+        dest = SweepStore(tmp_path / "dest.sqlite", backend="sqlite")
+        dest.put("k1", _metrics(utilization_percent=10.0), meta={"origin": "dest"})
+        src.put("k1", _metrics(utilization_percent=90.0), meta={"origin": "src"})
+        src.put("k2", _metrics(), meta={"origin": "src"})
+        results, failures = dest.merge_from(src)
+        assert (results, failures) == (2, 0)
+        assert len(dest) == 2
+        assert dest.get("k1").utilization_percent == pytest.approx(90.0)
+        src.close()
+        dest.close()
+
+    def test_results_supersede_failures(self, tmp_path):
+        failed = SweepStore(tmp_path / "failed.jsonl")
+        failed.put_failure("k1", "worker crashed", meta={"mix": "BBRv1"})
+        succeeded = SweepStore(tmp_path / "succeeded.jsonl")
+        succeeded.put("k1", _metrics(), meta={"mix": "BBRv1"})
+        dest = SweepStore(tmp_path / "merged.jsonl")
+        dest.merge_from(failed)
+        assert [r["key"] for r in dest.failures()] == ["k1"]
+        dest.merge_from(succeeded)
+        assert dest.failures() == []
+        assert "k1" in dest
+        # The reverse order also never shadows a result with a failure.
+        dest2 = SweepStore(tmp_path / "merged2.jsonl")
+        dest2.merge_from(succeeded)
+        dest2.merge_from(failed)
+        assert dest2.failures() == []
+        assert "k1" in dest2
+        for s in (failed, succeeded, dest, dest2):
+            s.close()
+
+
+class TestCli:
+    GRID = [
+        "--substrate", "analytic",
+        "--mixes", "BBRv1", "BBRv2",
+        "--buffers", "1", "4",
+        "--disciplines", "droptail",
+    ]
+
+    def test_two_shard_merge_status_workflow(self, tmp_path, capsys):
+        shard0 = str(tmp_path / "shard0.jsonl")
+        shard1 = str(tmp_path / "shard1.jsonl")
+        merged = str(tmp_path / "merged.sqlite")
+        for index, path in enumerate((shard0, shard1)):
+            code = cli.main(
+                ["-q", "sweep", *self.GRID, "--store", path,
+                 "--shard-index", str(index), "--shard-count", "2"]
+            )
+            assert code == 0
+        code = cli.main(["store", "merge", shard0, shard1, merged])
+        assert code == 0
+        code = cli.main(
+            ["-q", "status", merged, "--substrate", "analytic",
+             "--mixes", "BBRv1", "BBRv2", "--buffers", "1", "4",
+             "--disciplines", "droptail", "--seeds", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out + captured.err
+        assert "0 remaining" in captured.out
+
+    def test_shard_index_out_of_range_rejected(self, tmp_path, capsys):
+        code = cli.main(
+            ["-q", "sweep", *self.GRID, "--shard-index", "2", "--shard-count", "2"]
+        )
+        assert code == 2
+        assert "shard_index must be in" in capsys.readouterr().err
+
+    def test_empty_shard_exits_zero(self, tmp_path, capsys):
+        # One grid point across many shards: most shards are empty, and an
+        # empty slice is a completed (trivial) run for that worker.
+        codes = [
+            cli.main(
+                ["-q", "sweep", "--substrate", "analytic", "--mixes", "BBRv1",
+                 "--buffers", "1", "--disciplines", "droptail",
+                 "--shard-index", str(i), "--shard-count", "8"]
+            )
+            for i in range(8)
+        ]
+        assert set(codes) == {0}
+        assert any(
+            "contains no grid points" in line
+            for line in capsys.readouterr().out.splitlines()
+        )
+
+    def test_merge_rejects_dest_among_sources(self, tmp_path, capsys):
+        path = tmp_path / "store.jsonl"
+        store = SweepStore(path)
+        store.put("k", _metrics())
+        store.close()
+        code = cli.main(["store", "merge", str(path), str(path)])
+        assert code == 2
+        assert "also a merge source" in capsys.readouterr().err
+
+    def test_stability_json(self, capsys):
+        code = cli.main(
+            ["stability", "--flow-counts", "2", "--rtts-ms", "35",
+             "--buffers", "0.25", "1", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["phase"]) == 2 * 2  # versions x buffers
+        assert document["thresholds"] == dict(phase.DEFAULT_THRESHOLDS)
+        assert document["disagreements"] == 0
+        regimes = {
+            (row["version"], row["buffer_bdp"]): row["regime"]
+            for row in document["phase"]
+        }
+        assert regimes[("bbr1", 0.25)] == "shallow-buffer"
+        assert regimes[("bbr1", 1.0)] == "deep-buffer"
+
+    def test_stability_csv(self, tmp_path, capsys):
+        out = tmp_path / "phase.csv"
+        code = cli.main(
+            ["stability", "--flow-counts", "2", "--rtts-ms", "35",
+             "--buffers", "1", "--csv", str(out)]
+        )
+        assert code == 0
+        header, *rows = out.read_text().strip().splitlines()
+        assert "classification" in header and len(rows) == 2
+
+    def test_stability_with_unvalidatable_store(self, tmp_path, capsys):
+        path = str(tmp_path / "analytic.jsonl")
+        assert cli.main(["-q", "sweep", *self.GRID, "--store", path]) == 0
+        code = cli.main(
+            ["stability", "--flow-counts", "2", "--buffers", "1",
+             "--rtts-ms", "35", "--store", path]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no validatable simulation rows" in captured.err
+
+
+class TestValidationRegimes:
+    """The documented agreement regimes of the phase-diagram validation.
+
+    The analytic predictions are equilibrium statements; the fluid rows
+    are finite-horizon time averages.  Within the documented thresholds
+    (:data:`repro.experiments.phase.DEFAULT_THRESHOLDS`) the BBRv1
+    deep-buffer regime (Theorems 1+2) and the BBRv2 deep-buffer regime
+    (Theorems 4+5, 8 BDP) agree with 30-60 s fluid averages; BBRv2 at
+    4 BDP is a *documented disagreement* — the fluid model's start-up
+    ``w_hi`` estimate and inflight caps (the Insight 5 mechanism) depress
+    long-run utilization in ways the reduced model deliberately omits.
+    """
+
+    def test_bbr1_deep_buffer_agrees(self, tmp_path):
+        store = SweepStore(tmp_path / "v1.jsonl")
+        sweep.run_sweep(
+            mixes=["BBRv1"],
+            buffers_bdp=[4.0, 8.0],
+            disciplines=["droptail"],
+            substrate="fluid",
+            duration_s=30.0,
+            dt=1e-3,
+            store=store,
+        )
+        rows = phase.validate_against_store(store)
+        store.close()
+        assert {row["buffer_bdp"] for row in rows} == {4.0, 8.0}
+        for row in rows:
+            # Heterogeneous RTTs put the standard mix on the numerical
+            # reduced-model path rather than the equal-delay closed form.
+            assert row["regime"] in ("deep-buffer", "reduced-model")
+            assert row["agrees"], row
+
+    def test_bbr2_regimes(self, tmp_path):
+        store = SweepStore(tmp_path / "v2.jsonl")
+        sweep.run_sweep(
+            mixes=["BBRv2"],
+            buffers_bdp=[4.0, 8.0],
+            disciplines=["droptail"],
+            substrate="fluid",
+            duration_s=60.0,
+            dt=1e-3,
+            store=store,
+        )
+        rows = {row["buffer_bdp"]: row for row in phase.validate_against_store(store)}
+        store.close()
+        assert rows[8.0]["agrees"], rows[8.0]
+        # Documented disagreement: the fluid BBRv2 model underutilizes at
+        # 4 BDP (w_hi start-up estimate + inflight caps), which the reduced
+        # model does not capture; the residual report surfaces it honestly.
+        assert not rows[4.0]["agrees"]
+        assert (
+            abs(rows[4.0]["residual_utilization_percent"])
+            > phase.DEFAULT_THRESHOLDS["utilization_percent"]
+        )

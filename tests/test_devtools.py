@@ -143,7 +143,7 @@ def test_cache001_catches_unhashed_scenario_field():
         key_fn=_key_dropping("jitter_budget_s"), probes=[probe], allowed_unhashed={}
     )
     hits = [f for f in findings if f.rule == "CACHE001" and "jitter_budget_s" in f.message]
-    assert len(hits) == 2  # fluid + emulation
+    assert len(hits) == len(cachekey.SUBSTRATES)  # one finding per substrate
     assert "alias onto one stored record" in hits[0].message
 
 
@@ -161,7 +161,7 @@ def test_cache001_allowlisted_exclusion_is_quiet():
     probe = cachekey.Probe(type(base), base, lambda c: c, lambda c, v: v)
     allowed = {
         ("ExtendedScenarioConfig", "jitter_budget_s", s): "test exclusion"
-        for s in ("fluid", "emulation")
+        for s in cachekey.SUBSTRATES
     }
     findings = cachekey.check_scenario_key_coverage(
         key_fn=_key_dropping("jitter_budget_s"), probes=[probe], allowed_unhashed=allowed
